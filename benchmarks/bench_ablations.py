@@ -1,0 +1,60 @@
+"""Design-choice ablations called out in the paper's §2.
+
+* Look-Ahead Scheduling on/off (paper: LAS buys up to 3.9%).
+* Special bit-manipulation ALU ops vs software loops (paper: <0.3%
+  mean, <=0.8% worst case without them).
+* Private perfect protocol caches (paper: isolates cache pollution —
+  0.9-3.2% typical, 5.1% worst case).
+"""
+
+from _harness import apps_for_matrix, run_config
+from repro.sim.report import format_table
+
+NODES, WAYS = 2, 1
+
+
+def _delta(app, **flags):
+    ref = run_config(app, "smtp", NODES, WAYS)["cycles"]
+    var = run_config(app, "smtp", NODES, WAYS, **flags)["cycles"]
+    return (var / ref - 1) * 100
+
+
+def test_ablation_las(benchmark):
+    deltas = benchmark.pedantic(
+        lambda: {
+            app: _delta(app, look_ahead_scheduling=False)
+            for app in apps_for_matrix()
+        },
+        rounds=1, iterations=1,
+    )
+    print("\n=== Ablation: Look-Ahead Scheduling disabled ===")
+    print("(positive = slower without LAS; paper: LAS helps up to 3.9%)")
+    rows = [[a, f"{d:+.2f}%"] for a, d in deltas.items()]
+    print(format_table(["App.", "slowdown without LAS"], rows))
+
+
+def test_ablation_bitops(benchmark):
+    deltas = benchmark.pedantic(
+        lambda: {
+            app: _delta(app, protocol_bitops=False) for app in apps_for_matrix()
+        },
+        rounds=1, iterations=1,
+    )
+    print("\n=== Ablation: popcount/ctz as software loops ===")
+    print("(paper: <0.3% average, <=0.8% worst case)")
+    rows = [[a, f"{d:+.2f}%"] for a, d in deltas.items()]
+    print(format_table(["App.", "slowdown without bit ops"], rows))
+
+
+def test_ablation_perfect_protocol_caches(benchmark):
+    deltas = benchmark.pedantic(
+        lambda: {
+            app: _delta(app, perfect_protocol_caches=True)
+            for app in apps_for_matrix()
+        },
+        rounds=1, iterations=1,
+    )
+    print("\n=== Ablation: private perfect protocol caches ===")
+    print("(negative = faster with perfect caches; paper: 0.9-5.1%)")
+    rows = [[a, f"{d:+.2f}%"] for a, d in deltas.items()]
+    print(format_table(["App.", "delta with perfect caches"], rows))

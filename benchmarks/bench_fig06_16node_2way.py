@@ -1,0 +1,26 @@
+"""Figure 6: 16 nodes, 2-way
+
+Five machine models across a 16-node DSM, two application threads per node.
+Regenerates the figure's series: for every machine model and
+application, the execution time normalized to Base with the
+memory-stall fraction — the textual form of the paper's stacked bars.
+"""
+
+from _harness import (
+    apps_for_matrix,
+    MODELS,
+    check_shapes,
+    normalized_rows,
+    print_figure,
+)
+
+
+def test_fig06_16node_2way(benchmark):
+    rows = benchmark.pedantic(
+        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=16, ways=2),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure("Figure 6: 16 nodes, 2-way", rows, MODELS)
+    for problem in check_shapes(rows, MODELS):
+        print("SHAPE WARNING:", problem)

@@ -1,0 +1,26 @@
+"""Figure 8: 32 nodes, 1-way
+
+Five machine models across a 32-node DSM (64-bit directory entries).
+Regenerates the figure's series: for every machine model and
+application, the execution time normalized to Base with the
+memory-stall fraction — the textual form of the paper's stacked bars.
+"""
+
+from _harness import (
+    apps_for_matrix,
+    MODELS,
+    check_shapes,
+    normalized_rows,
+    print_figure,
+)
+
+
+def test_fig08_32node_1way(benchmark):
+    rows = benchmark.pedantic(
+        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=32, ways=1),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure("Figure 8: 32 nodes, 1-way", rows, MODELS)
+    for problem in check_shapes(rows, MODELS):
+        print("SHAPE WARNING:", problem)

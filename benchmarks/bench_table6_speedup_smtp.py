@@ -1,0 +1,16 @@
+"""Table 6: 16-node self-relative speedups under SMTp.
+
+Same protocol as Table 5's bench but with the protocol thread running
+on the main pipeline.  The paper's comparable shape: SMTp speedups
+track Base's closely (self-relative numbers are not a cross-model
+comparison), and 2-way generally beats 1-way.
+"""
+
+from bench_table5_speedup_base import WAYS, speedups
+from repro.sim.report import speedup_table
+
+
+def test_table6_speedup_smtp(benchmark):
+    results = benchmark.pedantic(lambda: speedups("smtp"), rounds=1, iterations=1)
+    print(f"\n=== Table 6: 16-node speedup in SMTp ===")
+    print(speedup_table(results, WAYS))

@@ -1,0 +1,36 @@
+"""Table 7: peak protocol occupancy, 16-node 1-way machines.
+
+For Base / IntPerfect / Int512KB / SMTp: the busiest node's protocol
+engine (or protocol thread) activity as a percentage of execution
+time.  Expected shape (the paper's): Base >> Int512KB >= SMTp >
+IntPerfect, and memory-intensive applications (fft, radix) far above
+compute-intensive ones (lu, water).
+"""
+
+from _harness import apps_for_matrix, run_config
+from repro.sim.report import format_table
+
+MODELS = ("base", "intperfect", "int512kb", "smtp")
+
+
+def occupancies():
+    out = {}
+    for app in apps_for_matrix():
+        out[app] = {
+            m: run_config(app, m, n_nodes=16, ways=1)["occupancy_peak"]
+            for m in MODELS
+        }
+    return out
+
+
+def test_table7_protocol_occupancy(benchmark):
+    results = benchmark.pedantic(occupancies, rounds=1, iterations=1)
+    print("\n=== Table 7: 16-node protocol occupancy (1-way nodes) ===")
+    rows = [
+        [app] + [f"{100 * per[m]:.1f}%" for m in MODELS]
+        for app, per in results.items()
+    ]
+    print(format_table(["App."] + ["Base", "IntPerf.", "Int512KB", "SMTp"], rows))
+    for app, per in results.items():
+        if not per["base"] >= per["int512kb"] * 0.8:
+            print(f"SHAPE WARNING: {app}: Base occupancy not highest")

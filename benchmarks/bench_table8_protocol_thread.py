@@ -1,0 +1,38 @@
+"""Table 8: protocol-thread characteristics, 16-node 1-way SMTp.
+
+Per application: protocol branch misprediction rate, the fraction of
+cycles the graduation unit freed squashed protocol instructions, and
+retired protocol instructions as a share of all retired instructions.
+
+Expected shapes vs the paper: high prediction accuracy for the
+memory-intensive applications (their handlers re-run constantly and
+train the predictor), poor accuracy for water (undertrained), and tiny
+squash fractions.  The retired-instruction *share* runs far above the
+paper's 0.2-8% because the scaled workloads execute ~100x fewer
+application instructions per miss (EXPERIMENTS.md).
+"""
+
+from _harness import apps_for_matrix, run_config
+from repro.sim.report import format_table
+
+
+def characteristics():
+    out = {}
+    for app in apps_for_matrix():
+        out[app] = run_config(app, "smtp", n_nodes=16, ways=1)
+    return out
+
+
+def test_table8_protocol_thread(benchmark):
+    results = benchmark.pedantic(characteristics, rounds=1, iterations=1)
+    print("\n=== Table 8: protocol thread characteristics (16 nodes, 1-way) ===")
+    rows = [
+        [
+            app,
+            f"{100 * r['br_mispredict']:.2f}%",
+            f"{100 * r['squash_fraction']:.2f}%",
+            f"{100 * r['retired_share']:.2f}% of all",
+        ]
+        for app, r in results.items()
+    ]
+    print(format_table(["App.", "Br.Mis. Rate", "Squash %", "Retired Ins."], rows))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Programmable protocol threads beyond coherence (paper §1/§6).
+
+The paper's closing argument: once the coherence protocol is software
+on a spare thread context, the same mechanism hosts *other* memory-
+system services. This example uses the bundled active-memory
+extension (`repro.protocol.extensions`): an uncached fetch-and-op that
+executes in the **home node's protocol thread**, so a contended
+counter never bounces a cache line between nodes.
+
+It times a global counter hammered from every node, implemented two
+ways — ordinary cached atomics vs. remote active-memory ops — on the
+same 4-node machine.
+
+Run:  python examples/active_memory.py
+"""
+
+from repro import Machine, make_machine_params
+from repro.apps.base import AppContext
+from repro.apps.program import AWAIT
+from repro.sim.driver import run_machine
+
+INCREMENTS = 12
+
+
+def timed_counter(op: str) -> int:
+    machine = Machine(make_machine_params("smtp", n_nodes=4, ways=1))
+    ctx = AppContext(machine)
+    counter = ctx.space.alloc(0, 128)
+
+    def body(k, g):
+        for _ in range(INCREMENTS):
+            k.atomic(counter, op, 1)
+            _ = yield AWAIT
+            yield ("sleep", 40)  # interleave: every op re-contends
+        yield from ctx.barrier.wait(k, g)
+
+    stats = run_machine(machine, ctx.build_sources(body), max_cycles=5_000_000)
+    expected = INCREMENTS * ctx.n_threads
+    assert machine.words[counter] == expected, "lost increments!"
+    home = machine.layout.home_of(counter)
+    am_handlers = machine.nodes[home].stats.protocol.handlers_by_type.get(
+        "h_am_op", 0
+    )
+    print(
+        f"  {op:7s}: {stats.cycles:7d} cycles "
+        f"(counter={machine.words[counter]}, "
+        f"h_am_op handlers at home={am_handlers})"
+    )
+    return stats.cycles
+
+
+def main() -> None:
+    print(f"Global counter, 4 nodes x {INCREMENTS} increments each, "
+          "every op contended:")
+    cached = timed_counter("fai")  # ordinary cached atomic
+    remote = timed_counter("am_fai")  # active-memory remote op
+    print(
+        f"\nActive-memory speedup under contention: {cached / remote:.2f}x\n"
+        "The cached atomic drags an exclusive line across the machine "
+        "on every operation;\nthe active-memory op sends one request "
+        "and the home's protocol thread does the rest —\nthe kind of "
+        "protocol-thread programmability the paper's conclusion "
+        "advertises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Clock-rate scaling study (the paper's §4.2, Figures 10/11).
+
+Runs one application across the machine models at 2 GHz and 4 GHz
+processor clocks.  The paper's finding: the performance trends are
+unchanged as the processor-memory gap widens, and the integrated
+models (SMTp included) pull further ahead of Base.
+
+Run:  python examples/clock_scaling.py [app]
+"""
+
+import sys
+
+from repro import run_app
+from repro.sim.report import MODEL_LABELS, format_table
+
+MODELS = ("base", "int512kb", "smtp")
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    print(f"Clock scaling on {app}, 2-node 1-way machines\n")
+    results = {}
+    for freq in (2.0, 4.0):
+        for model in MODELS:
+            print(f"  running {MODEL_LABELS[model]} at {freq:g} GHz ...")
+            results[(model, freq)] = run_app(
+                app, model, n_nodes=2, ways=1, preset="bench", freq_ghz=freq
+            )
+    print()
+    rows = []
+    for model in MODELS:
+        r2 = results[(model, 2.0)]
+        r4 = results[(model, 4.0)]
+        norm2 = r2.cycles / results[("base", 2.0)].cycles
+        norm4 = r4.cycles / results[("base", 4.0)].cycles
+        rows.append(
+            [
+                MODEL_LABELS[model],
+                f"{norm2:.3f}",
+                f"{norm4:.3f}",
+                f"{r4.cycles / r2.cycles:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["Model", "norm. @2GHz", "norm. @4GHz", "cycle growth"],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape: normalized times vs Base shrink (or hold) at "
+        "4 GHz — integration matters more as the memory gap widens."
+    )
+
+
+if __name__ == "__main__":
+    main()

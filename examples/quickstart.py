@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload on an SMTp machine and read the stats.
+
+Builds a 4-node SMTp DSM (each node an out-of-order SMT core with two
+application threads plus the protocol thread), runs the scaled FFT
+workload, and prints the quantities the paper reports: execution time,
+the memory-stall split, and protocol-thread activity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_app
+from repro.sim.report import summarize
+
+
+def main() -> None:
+    print("Running FFT on a 4-node, 2-way SMTp machine...")
+    stats = run_app(
+        "fft",            # one of: fft, fftw, lu, ocean, radix, water
+        "smtp",           # one of: base, intperfect, int512kb, int64kb, smtp
+        n_nodes=4,
+        ways=2,           # application threads per node
+        preset="bench",   # scaled problem size (tiny / bench / default)
+    )
+
+    print()
+    print(summarize(stats))
+    print()
+    print("Per-node protocol-thread activity:")
+    for node in stats.nodes:
+        p = node.protocol
+        print(
+            f"  node {node.node}: {p.handlers} handlers, "
+            f"{p.instructions} protocol instructions retired, "
+            f"busy {100 * p.busy_cycles / stats.cycles:.1f}% of run, "
+            f"branch misprediction {100 * p.mispredict_rate:.1f}%"
+        )
+
+    print()
+    print("Most frequent handlers (node 0):")
+    by_type = stats.nodes[0].protocol.handlers_by_type
+    for name, count in sorted(by_type.items(), key=lambda kv: -kv[1])[:6]:
+        print(f"  {name:20s} {count}")
+
+
+if __name__ == "__main__":
+    main()

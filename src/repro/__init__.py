@@ -1,0 +1,59 @@
+"""smtp-repro: a reproduction of "SMTp: An Architecture for
+Next-generation Scalable Multi-threading" (Chaudhuri & Heinrich,
+ISCA 2004).
+
+Quickstart::
+
+    from repro import run_app
+    stats = run_app("fft", "smtp", n_nodes=4, ways=2, preset="bench")
+    print(stats.cycles, stats.memory_stall_fraction)
+
+The package layers:
+
+* ``repro.core``     — the paper's contribution: the SMTp protocol
+  thread, node/machine assembly, the five Table 4 machine models.
+* ``repro.pipeline`` — the out-of-order SMT core.
+* ``repro.protocol`` — the directory coherence protocol as executable
+  handler programs in a mini protocol ISA.
+* ``repro.caches`` / ``repro.memctrl`` / ``repro.network`` — the
+  memory-system substrates.
+* ``repro.apps``     — the six workloads (Table 1) and the runtime
+  (tree barriers, locks) they are built on.
+* ``repro.sim``      — the experiment driver and paper-style reports.
+"""
+
+from repro.common.params import (
+    PERFECT,
+    CacheParams,
+    MachineParams,
+    MemoryParams,
+    NetworkParams,
+    ProcessorParams,
+)
+from repro.common.stats import MachineStats, speedup
+from repro.core.machine import Machine
+from repro.core.models import MODELS, make_machine_params, paper_exact_params
+from repro.sim.driver import build_machine, run_app, run_machine
+from repro.sim.experiments import APPS, PRESETS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPS",
+    "CacheParams",
+    "Machine",
+    "MachineParams",
+    "MachineStats",
+    "MemoryParams",
+    "MODELS",
+    "NetworkParams",
+    "PERFECT",
+    "PRESETS",
+    "ProcessorParams",
+    "build_machine",
+    "make_machine_params",
+    "paper_exact_params",
+    "run_app",
+    "run_machine",
+    "speedup",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       simulate one workload on one machine model
+``models``    list the five Table 4 machine models
+``apps``      list workloads and their preset sizes
+``handlers``  disassemble the coherence protocol handlers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.models import MODELS
+from repro.sim.experiments import APPS, PRESETS
+from repro.sim.report import MODEL_LABELS, format_table
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim.driver import run_app
+    from repro.sim.report import summarize
+
+    stats = run_app(
+        args.app,
+        args.model,
+        n_nodes=args.nodes,
+        ways=args.ways,
+        freq_ghz=args.freq,
+        preset=args.preset,
+        check_coherence=args.check,
+    )
+    print(summarize(stats))
+    if args.verbose:
+        print("\nPer-node protocol handlers:")
+        for node in stats.nodes:
+            mix = dict(sorted(node.protocol.handlers_by_type.items()))
+            print(f"  node {node.node}: {mix}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = [
+        ["base", "embedded dual-issue PP", "400 MHz", "512 KB DM"],
+        ["intperfect", "embedded dual-issue PP", "processor", "perfect"],
+        ["int512kb", "embedded dual-issue PP", "1/2 processor", "512 KB DM"],
+        ["int64kb", "embedded dual-issue PP", "1/2 processor", "64 KB DM"],
+        ["smtp", "protocol thread on the pipeline", "1/2 processor", "shares L1/L2"],
+    ]
+    print(format_table(["model", "protocol execution", "MC clock", "dir cache"], rows))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    rows = []
+    for app in APPS:
+        sizes = {p: PRESETS[p][app] for p in PRESETS}
+        rows.append([app, str(sizes["tiny"]), str(sizes["bench"]), str(sizes["default"])])
+    print(format_table(["app", "tiny", "bench", "default"], rows))
+    return 0
+
+
+def _cmd_handlers(args: argparse.Namespace) -> int:
+    from repro.protocol import extensions
+    from repro.protocol.handlers import build_handler_table
+
+    table = build_handler_table()
+    extensions.install(table)
+    if args.name:
+        handler = table[args.name]
+        print(f"{handler.name} @ {handler.pc:#x} ({len(handler)} instructions)")
+        for i, instr in enumerate(handler.instrs):
+            fields = []
+            if instr.rd:
+                fields.append(f"rd=r{instr.rd}")
+            if instr.rs1:
+                fields.append(f"rs1=r{instr.rs1}")
+            if instr.rs2 is not None:
+                fields.append(f"rs2=r{instr.rs2}")
+            elif instr.imm:
+                fields.append(f"imm={instr.imm:#x}")
+            if instr.target >= 0:
+                fields.append(f"-> {instr.target}")
+            print(f"  {i:3d}: {instr.op.name:9s} {' '.join(fields)}")
+        return 0
+    rows = [
+        [name, f"{h.pc:#x}", len(h)]
+        for name, h in sorted(table.by_name.items())
+    ]
+    print(format_table(["handler", "PC", "instrs"], rows))
+    print(f"\n{table.total_instructions()} protocol instructions total; "
+          "use `handlers --name h_get` to disassemble one.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SMTp (ISCA 2004) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("app", choices=APPS)
+    run_p.add_argument("--model", choices=MODELS, default="smtp")
+    run_p.add_argument("--nodes", type=int, default=2)
+    run_p.add_argument("--ways", type=int, default=1, choices=(1, 2, 4))
+    run_p.add_argument("--freq", type=float, default=2.0, help="GHz")
+    run_p.add_argument("--preset", choices=tuple(PRESETS), default="bench")
+    run_p.add_argument("--check", action="store_true",
+                       help="run the coherence invariant checker")
+    run_p.add_argument("-v", "--verbose", action="store_true")
+    run_p.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("models", help="list machine models").set_defaults(fn=_cmd_models)
+    sub.add_parser("apps", help="list workloads/presets").set_defaults(fn=_cmd_apps)
+
+    handlers_p = sub.add_parser("handlers", help="show protocol handlers")
+    handlers_p.add_argument("--name", help="disassemble one handler")
+    handlers_p.set_defaults(fn=_cmd_handlers)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

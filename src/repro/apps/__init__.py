@@ -1,0 +1,24 @@
+"""The six workloads (Table 1) plus synthetic test kernels."""
+
+from repro.apps import fft, fftw, lu, ocean, radix, synthetic, water
+from repro.apps.base import AppContext
+from repro.apps.program import AWAIT, KernelBuilder, ThreadProgram
+from repro.apps.runtime import AddressSpace, SpinLock, TreeBarrier, spin_until
+
+__all__ = [
+    "AWAIT",
+    "AddressSpace",
+    "AppContext",
+    "KernelBuilder",
+    "SpinLock",
+    "ThreadProgram",
+    "TreeBarrier",
+    "fft",
+    "fftw",
+    "lu",
+    "ocean",
+    "radix",
+    "spin_until",
+    "synthetic",
+    "water",
+]

@@ -1,0 +1,104 @@
+"""FFT: radix-√n six-step 1-D FFT (SPLASH-2 structure, scaled).
+
+The √n × √n matrix of complex points is partitioned into contiguous
+row blocks, one per thread, homed at the owner's node (the paper's
+page placement).  Execution alternates row FFT phases (local,
+FP-heavy) with blocked all-to-all transposes (every thread reads a
+block column from every other thread's rows — the communication
+pattern FFT is famous for), with tree barriers in between.  Transposes
+use prefetching and tiling like the tuned SPLASH-2 code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+
+POINT_BYTES = 16  # complex double
+
+
+def make_sources(machine, points: int = 4096, block: int = 8):
+    """Build FFT thread programs.  ``points`` must be a square of a
+    power of two; the matrix is √points × √points."""
+    side = int(math.isqrt(points))
+    if side * side != points:
+        raise ValueError(f"points must be a perfect square: {points}")
+    ctx = AppContext(machine)
+    rows = ctx.block_map(side)
+    block = max(1, min(block, side // ctx.n_threads or 1))
+    row_bytes = side * POINT_BYTES
+    # Two matrices (source/destination of each transpose), row-block
+    # distributed: thread g's rows live at its node.
+    mats: List[List[int]] = []
+    for _ in range(2):
+        bases = [
+            ctx.space.alloc(
+                ctx.node_of(g), max(128, rows.count_of(g) * row_bytes)
+            )
+            for g in range(ctx.n_threads)
+        ]
+        mats.append(bases)
+
+    def row_addr(mat: int, row: int, col: int) -> int:
+        owner = rows.owner_of(row)
+        return (
+            mats[mat][owner]
+            + rows.local_index(row) * row_bytes
+            + col * POINT_BYTES
+        )
+
+    log_side = side.bit_length() - 1
+
+    def fft_rows(k: KernelBuilder, g: int, mat: int) -> Iterator:
+        """1-D FFTs over the thread's own rows: butterfly passes."""
+        for row in rows.range_of(g):
+            for col in range(0, side, 4):
+                top = k.here()
+                re = k.load(row_addr(mat, row, col), fp=True)
+                im = k.load(row_addr(mat, row, col) + 8, fp=True)
+                # ~5 log2(side) flops per point, batched 4 points/iter.
+                for _ in range(log_side):
+                    re = k.falu(re, im)
+                    im = k.falu(im, re)
+                k.store(row_addr(mat, row, col), re)
+                k.store(row_addr(mat, row, col) + 8, im)
+                k.branch(col + 4 < side, top)
+                yield
+
+    def transpose(k: KernelBuilder, g: int, src: int, dst: int) -> Iterator:
+        """Blocked transpose: read a block column from every peer."""
+        my_rows = ctx.split(side, g)
+        for peer in range(ctx.n_threads):
+            # Stagger peers so all-to-all traffic spreads out.
+            p = (g + peer) % ctx.n_threads
+            step = min(4, block)
+            for brow in range(my_rows.start, my_rows.stop, block):
+                rmax = min(block, my_rows.stop - brow)
+                for bcol in rows.range_of(p)[::block]:
+                    cmax = min(block, side - bcol)
+                    # Prefetch the remote source block's rows.
+                    for r in range(cmax):
+                        k.prefetch(row_addr(src, bcol + r, brow))
+                    for r in range(cmax):
+                        for c in range(0, rmax, step):
+                            a = k.load(row_addr(src, bcol + r, brow + c), fp=True)
+                            k.store(row_addr(dst, brow + c, bcol + r), a)
+                    yield
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        yield from fft_rows(k, g, 0)
+        yield from ctx.barrier.wait(k, g)
+        yield from transpose(k, g, 0, 1)
+        yield from ctx.barrier.wait(k, g)
+        yield from fft_rows(k, g, 1)
+        yield from ctx.barrier.wait(k, g)
+        yield from transpose(k, g, 1, 0)
+        yield from ctx.barrier.wait(k, g)
+        yield from fft_rows(k, g, 0)
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

@@ -1,0 +1,93 @@
+"""FFTW: 3-D FFT with per-dimension passes (scaled from 8192×16×16).
+
+The nx×ny×nz complex grid is distributed by x-planes across threads.
+The z and y passes are node-local (unit/short stride); the x pass
+requires data from every other thread, performed as a blocked
+transpose exactly like the tuned FFTW kernel the paper uses.  FFTW's
+codelets are register-hungry — the inner loops here carry long
+dependence chains over many live values and extra integer address
+arithmetic, which is what makes FFTW the paper's integer-register
+bottleneck (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+
+POINT_BYTES = 16
+
+
+def make_sources(machine, nx: int = 16, ny: int = 8, nz: int = 8, block: int = 8):
+    ctx = AppContext(machine)
+    planes = ctx.block_map(nx)
+    plane_points = ny * nz
+    plane_bytes = plane_points * POINT_BYTES
+    bases: List[int] = [
+        ctx.space.alloc(
+            ctx.node_of(g), max(128, planes.count_of(g) * plane_bytes)
+        )
+        for g in range(ctx.n_threads)
+    ]
+
+    def addr(x: int, yz: int) -> int:
+        owner = planes.owner_of(x)
+        return (
+            bases[owner] + planes.local_index(x) * plane_bytes + yz * POINT_BYTES
+        )
+
+    def codelet(k: KernelBuilder, addrs: List[int]) -> None:
+        """A radix-|addrs| butterfly: loads, a deep FP chain with many
+        live values, integer address arithmetic, stores."""
+        regs = []
+        base = k.alu()  # address base computation
+        for a in addrs:
+            k.alu(base)  # index arithmetic per point (int pressure)
+            regs.append(k.load(a, fp=True))
+            regs.append(k.load(a + 8, fp=True))
+        # Cross-combine while keeping every value live.
+        for i in range(len(regs)):
+            regs[i] = k.falu(regs[i], regs[(i + 1) % len(regs)])
+        for i, a in enumerate(addrs):
+            k.store(a, regs[2 * i])
+            k.store(a + 8, regs[2 * i + 1])
+
+    def local_pass(k: KernelBuilder, g: int, stride: int, count: int) -> Iterator:
+        """FFT along z (stride 1) or y (stride nz) within own planes."""
+        for x in planes.range_of(g):
+            for p in range(plane_points // count):
+                base_idx = (p // stride) * count * stride + (p % stride)
+                top = k.here()
+                for grp in range(0, count, 4):
+                    k.set_pc(top)
+                    pts = [
+                        addr(x, base_idx + (grp + j) * stride)
+                        for j in range(min(4, count - grp))
+                    ]
+                    codelet(k, pts)
+                    k.branch(grp + 4 < count, top)
+                    yield
+
+    def x_pass(k: KernelBuilder, g: int) -> Iterator:
+        """FFT along x: gather a pencil of points from all planes."""
+        bl = min(block, max(1, plane_points // ctx.n_threads))
+        for yz in ctx.split(plane_points, g)[::bl]:
+            for x0 in range(0, nx, min(4, nx)):
+                pts = [addr(x0 + j, yz) for j in range(min(4, nx - x0))]
+                for a in pts:
+                    k.prefetch(a)
+                codelet(k, pts)
+                yield
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        yield from local_pass(k, g, 1, nz)  # z dimension
+        yield from ctx.barrier.wait(k, g)
+        yield from local_pass(k, g, nz, ny)  # y dimension
+        yield from ctx.barrier.wait(k, g)
+        yield from x_pass(k, g)  # x dimension (all-to-all)
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

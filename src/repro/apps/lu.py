@@ -1,0 +1,94 @@
+"""LU: blocked dense LU factorization (SPLASH-2 structure, scaled).
+
+The n×n matrix is split into B×B blocks assigned round-robin
+("owner computes"); each block is homed at its owner's node.  Step k
+factors the diagonal block, updates the perimeter row/column blocks
+(which read the remote diagonal block), then updates the trailing
+interior blocks (each reading two remote perimeter blocks) — with a
+tree barrier after each sub-phase, exactly the SPLASH-2 schedule.
+LU is one of the paper's two compute-intensive applications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+
+WORD = 8
+
+
+def make_sources(machine, n: int = 64, block: int = 8):
+    if n % block:
+        raise ValueError(f"n {n} not divisible by block {block}")
+    nb = n // block
+    block_bytes = block * block * WORD
+    ctx = AppContext(machine)
+
+    owner: List[List[int]] = [
+        [(i + j * nb) % ctx.n_threads for j in range(nb)] for i in range(nb)
+    ]
+    base: List[List[int]] = [
+        [
+            ctx.space.alloc(ctx.node_of(owner[i][j]), block_bytes)
+            for j in range(nb)
+        ]
+        for i in range(nb)
+    ]
+
+    def elem(i: int, j: int, r: int, c: int) -> int:
+        return base[i][j] + (r * block + c) * WORD
+
+    def factor_diag(k: KernelBuilder, i: int) -> Iterator:
+        """In-place factorization of the diagonal block (B³/3 work)."""
+        for r in range(block):
+            top = k.here()
+            acc = k.load(elem(i, i, r, r), fp=True)
+            for c in range(r + 1, block):
+                k.set_pc(top)
+                a = k.load(elem(i, i, r, c), fp=True)
+                acc = k.falu(a, acc)
+                k.store(elem(i, i, r, c), acc)
+                k.branch(c + 1 < block, top)
+            d = k.fdiv(acc)
+            k.store(elem(i, i, r, r), d)
+            yield
+
+    def update_block(k: KernelBuilder, bi: int, bj: int, src1, src2) -> Iterator:
+        """dst -= src1 * src2 (B³ multiply-accumulate, blocked rows)."""
+        s1i, s1j = src1
+        s2i, s2j = src2
+        for r in range(block):
+            top = k.here()
+            for c in range(0, block, 2):
+                k.set_pc(top)
+                a = k.load(elem(s1i, s1j, r, c), fp=True)
+                b = k.load(elem(s2i, s2j, c % block, r), fp=True)
+                d = k.load(elem(bi, bj, r, c), fp=True)
+                d = k.falu(k.falu(a, b), d)
+                k.store(elem(bi, bj, r, c), d)
+                k.branch(c + 2 < block, top)
+                yield
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        for kk in range(nb):
+            if owner[kk][kk] == g:
+                yield from factor_diag(k, kk)
+            yield from ctx.barrier.wait(k, g)
+            # Perimeter: column blocks (i,kk) and row blocks (kk,j).
+            for i in range(kk + 1, nb):
+                if owner[i][kk] == g:
+                    yield from update_block(k, i, kk, (kk, kk), (i, kk))
+                if owner[kk][i] == g:
+                    yield from update_block(k, kk, i, (kk, kk), (kk, i))
+            yield from ctx.barrier.wait(k, g)
+            # Interior: (i,j) -= (i,kk) * (kk,j).
+            for i in range(kk + 1, nb):
+                for j in range(kk + 1, nb):
+                    if owner[i][j] == g:
+                        yield from update_block(k, i, j, (i, kk), (kk, j))
+            yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

@@ -1,0 +1,82 @@
+"""Ocean: red-black Gauss-Seidel grid relaxation with a global error
+lock (SPLASH-2 structure, scaled).
+
+The G×G grid is partitioned into row strips, one per thread, homed at
+the owner's node.  Each iteration sweeps the red then the black
+points; a point reads its four neighbours (boundary rows come from
+neighbouring threads — the classic nearest-neighbour communication),
+and after each sweep every thread updates the global error word under
+the test–lock–test–set lock the paper's §3 optimization describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+from repro.apps.runtime import AWAIT, SpinLock
+
+WORD = 8
+
+
+def make_sources(machine, grid: int = 34, iters: int = 3):
+    ctx = AppContext(machine)
+    inner = grid - 2
+    rmap = ctx.block_map(inner)  # interior rows 1..inner map to index-1
+    row_bytes = grid * WORD
+    bases: List[int] = [
+        ctx.space.alloc(ctx.node_of(g), (rmap.count_of(g) + 2) * row_bytes)
+        for g in range(ctx.n_threads)
+    ]
+
+    def addr(row: int, col: int) -> int:
+        if row == 0:
+            owner, local = 0, 0
+        elif row > inner:
+            owner = rmap.owner_of(inner - 1)
+            local = rmap.count_of(owner) + 1
+        else:
+            owner = rmap.owner_of(row - 1)
+            local = rmap.local_index(row - 1) + 1
+        return bases[owner] + local * row_bytes + col * WORD
+
+    error_lock = SpinLock(ctx.space, node=0)
+    error_word = ctx.space.alloc(0, 128)
+
+    def sweep(k: KernelBuilder, g: int, color: int) -> Iterator:
+        for r0 in rmap.range_of(g):
+            row = r0 + 1
+            top = k.here()
+            start = 1 + ((row + color) % 2)
+            for col in range(start, grid - 1, 2):
+                k.set_pc(top)
+                n = k.load(addr(row - 1, col), fp=True)
+                s = k.load(addr(row + 1, col), fp=True)
+                w = k.load(addr(row, col - 1), fp=True)
+                e = k.load(addr(row, col + 1), fp=True)
+                c = k.load(addr(row, col), fp=True)
+                v = k.falu(k.falu(n, s), k.falu(w, e))
+                v = k.falu(v, c)
+                k.store(addr(row, col), v)
+                k.branch(col + 2 < grid - 1, top)
+                yield
+
+    def update_error(k: KernelBuilder, g: int) -> Iterator:
+        yield from error_lock.acquire(k)
+        k.spin_load(error_word)
+        err = yield AWAIT
+        k.store(error_word, value=err + 1)
+        error_lock.release(k)
+        yield
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        for _ in range(iters):
+            for color in (0, 1):
+                yield from sweep(k, g, color)
+                yield from ctx.barrier.wait(k, g)
+            yield from update_error(k, g)
+            yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

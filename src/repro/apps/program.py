@@ -1,0 +1,267 @@
+"""Application thread programs.
+
+A thread program is a Python coroutine that drives a
+:class:`KernelBuilder` — calling its methods appends µops to a buffer
+and returns the logical register holding each result, so kernels read
+like dataflow code::
+
+    def body(k: KernelBuilder):
+        top = k.here()
+        for i in range(n):
+            k.set_pc(top)
+            a = k.load(base + 8 * i)
+            b = k.falu(a, b)
+            k.branch(i < n - 1, top)
+            yield   # flush point
+
+Three yield forms:
+
+* ``yield`` — flush point: buffered µops flow to the pipeline.
+* ``value = yield AWAIT`` — the previously-built µop (an atomic or a
+  spin load) must *execute* before the program continues; the executed
+  value is sent back in.  This is how locks and barriers react to the
+  simulated memory system.
+* ``yield ('sleep', n)`` — emit nothing for ``n`` cycles (spin
+  backoff).
+
+The pipeline pulls µops one at a time via the
+:class:`ThreadProgram` source interface shared with the protocol
+thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.isa.uop import FP_BASE, Uop, UopKind
+
+#: Marker yielded after building an atomic/spin µop whose value the
+#: program needs.
+AWAIT = object()
+
+
+class KernelBuilder:
+    """µop factory for one application thread.
+
+    Integer results rotate through logical r8..r23 and FP results
+    through f8..f23, leaving r0..r7 for long-lived values a kernel
+    wants to pin (loop-carried accumulators, base addresses).
+    """
+
+    INT_WINDOW = tuple(range(8, 24))
+    FP_WINDOW = tuple(range(FP_BASE + 8, FP_BASE + 24))
+
+    def __init__(self, thread: int, pc_base: int) -> None:
+        self.thread = thread
+        self.pc = pc_base
+        self.buffer: List[Uop] = []
+        self._int_rot = 0
+        self._fp_rot = 0
+        self.await_uop: Optional[Uop] = None
+
+    # -- program counters ----------------------------------------------------
+    def here(self) -> int:
+        return self.pc
+
+    def set_pc(self, pc: int) -> None:
+        self.pc = pc
+
+    def _next_pc(self) -> int:
+        pc = self.pc
+        self.pc += 4
+        return pc
+
+    def _int_dest(self) -> int:
+        reg = self.INT_WINDOW[self._int_rot]
+        self._int_rot = (self._int_rot + 1) % len(self.INT_WINDOW)
+        return reg
+
+    def _fp_dest(self) -> int:
+        reg = self.FP_WINDOW[self._fp_rot]
+        self._fp_rot = (self._fp_rot + 1) % len(self.FP_WINDOW)
+        return reg
+
+    # -- µop constructors -------------------------------------------------
+    def alu(self, *deps: int) -> int:
+        dest = self._int_dest()
+        self.buffer.append(
+            Uop(UopKind.ALU, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
+        )
+        return dest
+
+    def mul(self, *deps: int) -> int:
+        dest = self._int_dest()
+        self.buffer.append(
+            Uop(UopKind.MUL, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
+        )
+        return dest
+
+    def falu(self, *deps: int) -> int:
+        dest = self._fp_dest()
+        self.buffer.append(
+            Uop(UopKind.FALU, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
+        )
+        return dest
+
+    def fdiv(self, *deps: int) -> int:
+        dest = self._fp_dest()
+        self.buffer.append(
+            Uop(UopKind.FDIV, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
+        )
+        return dest
+
+    def load(self, addr: int, *deps: int, fp: bool = False) -> int:
+        dest = self._fp_dest() if fp else self._int_dest()
+        self.buffer.append(
+            Uop(
+                UopKind.LOAD, self.thread, pc=self._next_pc(), srcs=deps,
+                dest=dest, addr=addr,
+            )
+        )
+        return dest
+
+    def store(self, addr: int, *deps: int, value: Optional[int] = None) -> None:
+        self.buffer.append(
+            Uop(
+                UopKind.STORE, self.thread, pc=self._next_pc(), srcs=deps,
+                addr=addr, value=value,
+            )
+        )
+
+    def prefetch(self, addr: int, exclusive: bool = False) -> None:
+        self.buffer.append(
+            Uop(
+                UopKind.PREFETCH, self.thread, pc=self._next_pc(), addr=addr,
+                exclusive=exclusive,
+            )
+        )
+
+    def branch(self, taken: bool, target: int, *deps: int) -> None:
+        self.buffer.append(
+            Uop(
+                UopKind.BRANCH, self.thread, pc=self._next_pc(), srcs=deps,
+                taken=bool(taken), target_pc=target,
+            )
+        )
+        if taken:
+            self.pc = target
+
+    def call(self, target: int) -> int:
+        """Emit a call; returns the return PC for the matching ret."""
+        pc = self._next_pc()
+        self.buffer.append(
+            Uop(UopKind.CALL, self.thread, pc=pc, taken=True, target_pc=target)
+        )
+        ret_pc = pc + 4
+        self.pc = target
+        return ret_pc
+
+    def ret(self, return_pc: int) -> None:
+        self.buffer.append(
+            Uop(
+                UopKind.RETURN, self.thread, pc=self._next_pc(), taken=True,
+                target_pc=return_pc,
+            )
+        )
+        self.pc = return_pc
+
+    # -- value-bearing operations (used with ``yield AWAIT``) -----------------
+    def spin_load(self, addr: int) -> None:
+        uop = Uop(
+            UopKind.LOAD, self.thread, pc=self._next_pc(), dest=self._int_dest(),
+            addr=addr,
+        )
+        self.buffer.append(uop)
+        self.await_uop = uop
+
+    def value_load(self, addr: int) -> None:
+        self.spin_load(addr)
+
+    def atomic(self, addr: int, op: str, operand: int = 0) -> None:
+        uop = Uop(
+            UopKind.ATOMIC, self.thread, pc=self._next_pc(),
+            dest=self._int_dest(), addr=addr, atomic_op=op, operand=operand,
+        )
+        self.buffer.append(uop)
+        self.await_uop = uop
+
+
+#: A kernel body: a coroutine taking the builder.
+KernelFn = Callable[[KernelBuilder], Iterator]
+
+
+class ThreadProgram:
+    """Adapts a kernel coroutine to the pipeline's source interface."""
+
+    _NOTHING = object()
+
+    def __init__(self, kernel: KernelFn, builder: KernelBuilder, wheel=None) -> None:
+        self.k = builder
+        self._gen = kernel(builder)
+        self._send_value = self._NOTHING
+        self._waiting = False
+        self._sleeping = False
+        self._done = False
+        self._wheel = wheel
+
+    @property
+    def done(self) -> bool:
+        return self._done and not self.k.buffer
+
+    # -- source interface ------------------------------------------------
+    def peek_available(self) -> bool:
+        if self.k.buffer:
+            return True
+        if self._waiting or self._sleeping or self._done:
+            return False
+        self._advance()
+        return bool(self.k.buffer)
+
+    def next_uop(self) -> Optional[Uop]:
+        if not self.k.buffer and not (self._waiting or self._sleeping or self._done):
+            self._advance()
+        if self.k.buffer:
+            return self.k.buffer.pop(0)
+        return None
+
+    def push_back(self, uop: Uop) -> None:
+        self.k.buffer.insert(0, uop)
+
+    # Protocol-thread hooks (never invoked for app threads).
+    def next_ctx_available(self, ctx) -> bool:  # pragma: no cover
+        raise RuntimeError("application threads have no handler contexts")
+
+    def handler_committed(self, ctx) -> None:  # pragma: no cover
+        raise RuntimeError("application threads have no handler contexts")
+
+    # -- coroutine driving -------------------------------------------------
+    def _advance(self) -> None:
+        while not self.k.buffer and not self._done and not self._waiting \
+                and not self._sleeping:
+            try:
+                if self._send_value is not self._NOTHING:
+                    value, self._send_value = self._send_value, self._NOTHING
+                    item = self._gen.send(value)
+                else:
+                    item = next(self._gen)
+            except StopIteration:
+                self._done = True
+                return
+            if item is AWAIT:
+                uop = self.k.await_uop
+                self.k.await_uop = None
+                uop.on_value = self._on_value
+                self._waiting = True
+            elif isinstance(item, tuple) and item and item[0] == "sleep":
+                self._sleeping = True
+                if self._wheel is not None:
+                    self._wheel.schedule(max(1, item[1]), self._wake)
+                else:
+                    self._sleeping = False
+
+    def _wake(self) -> None:
+        self._sleeping = False
+
+    def _on_value(self, value: int) -> None:
+        self._waiting = False
+        self._send_value = value

@@ -1,0 +1,113 @@
+"""Radix-Sort: parallel radix sort (SPLASH-2 structure, scaled).
+
+Per digit pass: each thread histograms its local section of keys, a
+global prefix combine produces bucket offsets (all-to-all histogram
+reads), then every thread permutes its keys into the destination
+array — scattered stores whose targets spread over *all* nodes, the
+all-to-all write traffic that makes Radix-Sort the paper's most
+directory-cache-sensitive workload.
+
+Keys come from a fixed-seed PRNG so every machine model sorts the
+identical sequence; the permutation each pass performs is the true
+stable counting-sort order of those keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+
+WORD = 8
+
+
+def make_sources(machine, keys: int = 4096, radix: int = 64, passes: int = 2,
+                 seed: int = 12345):
+    ctx = AppContext(machine)
+    positions = ctx.block_map(keys)
+    rng = random.Random(seed)
+    digit_bits = radix.bit_length() - 1
+    key_values = [rng.randrange(radix ** passes) for _ in range(keys)]
+
+    src_base = [
+        ctx.space.alloc(ctx.node_of(g), max(128, positions.count_of(g) * WORD))
+        for g in range(ctx.n_threads)
+    ]
+    dst_base = [
+        ctx.space.alloc(ctx.node_of(g), max(128, positions.count_of(g) * WORD))
+        for g in range(ctx.n_threads)
+    ]
+    hist_base = [
+        ctx.space.alloc(ctx.node_of(g), radix * WORD)
+        for g in range(ctx.n_threads)
+    ]
+
+    def key_addr(bases: List[int], position: int) -> int:
+        owner = positions.owner_of(position)
+        return bases[owner] + positions.local_index(position) * WORD
+
+    def counting_order(perm: List[int], shift: int) -> List[int]:
+        """dest[pos] for each position under stable counting sort."""
+        buckets: List[List[int]] = [[] for _ in range(radix)]
+        for pos, key_id in enumerate(perm):
+            buckets[(key_values[key_id] >> shift) % radix].append(pos)
+        dest = [0] * len(perm)
+        out = 0
+        for bucket in buckets:
+            for pos in bucket:
+                dest[pos] = out
+                out += 1
+        return dest
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        perm = list(range(keys))  # perm[pos] = key id at that position
+        for p in range(passes):
+            shift = p * digit_bits
+            srcs, dsts = (src_base, dst_base) if p % 2 == 0 else (dst_base, src_base)
+            my_positions = positions.range_of(g)
+            # Phase 1: local histogram over this thread's section.
+            top = k.here()
+            for i, pos in enumerate(my_positions):
+                k.set_pc(top)
+                digit = (key_values[perm[pos]] >> shift) % radix
+                key = k.load(key_addr(srcs, pos))
+                d = k.alu(key)  # digit extraction
+                h = k.load(hist_base[g] + digit * WORD, d)
+                k.store(hist_base[g] + digit * WORD, h)
+                k.branch(i + 1 < len(my_positions), top)
+                if i % 8 == 7:
+                    yield
+            yield
+            yield from ctx.barrier.wait(k, g)
+            # Phase 2: global prefix — every thread reads all peers'
+            # histogram rows for its digit range.
+            for digit in ctx.split(radix, g):
+                acc = k.alu()
+                for peer in range(ctx.n_threads):
+                    h = k.load(hist_base[peer] + digit * WORD)
+                    acc = k.alu(h, acc)
+                k.store(hist_base[g] + digit * WORD, acc)
+                yield
+            yield from ctx.barrier.wait(k, g)
+            # Phase 3: permutation — scattered remote stores.
+            dest = counting_order(perm, shift)
+            top = k.here()
+            for i, pos in enumerate(my_positions):
+                k.set_pc(top)
+                key = k.load(key_addr(srcs, pos))
+                d = k.alu(key)
+                k.store(key_addr(dsts, dest[pos]), d)
+                k.branch(i + 1 < len(my_positions), top)
+                if i % 8 == 7:
+                    yield
+            yield
+            yield from ctx.barrier.wait(k, g)
+            new_perm = [0] * keys
+            for pos, key_id in enumerate(perm):
+                new_perm[dest[pos]] = key_id
+            perm = new_perm
+
+    return ctx.build_sources(body)

@@ -1,0 +1,121 @@
+"""Synthetic micro-kernels for tests and examples.
+
+Small, targeted traffic patterns with fully-predictable behaviour:
+
+* ``stream``   — sequential read/modify/write over a private array,
+* ``pingpong`` — two threads alternately write one shared line
+  (migratory sharing: upgrade + intervention traffic),
+* ``sharing``  — one writer, many readers per round (invalidations),
+* ``lockstep`` — barrier-only (synchronization traffic in isolation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+from repro.apps.runtime import AWAIT, SpinLock, spin_until
+
+WORD = 8
+
+
+def stream(machine, words: int = 512, rounds: int = 1):
+    ctx = AppContext(machine)
+    bases = [
+        ctx.space.alloc(ctx.node_of(g), words * WORD) for g in range(ctx.n_threads)
+    ]
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        for _ in range(rounds):
+            top = k.here()
+            for i in range(words):
+                k.set_pc(top)
+                a = k.load(bases[g] + i * WORD)
+                b = k.alu(a)
+                k.store(bases[g] + i * WORD, b)
+                k.branch(i + 1 < words, top)
+                if i % 16 == 15:
+                    yield
+            yield
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)
+
+
+def pingpong(machine, rounds: int = 20):
+    """Threads 0 and 1 alternately increment one shared word."""
+    ctx = AppContext(machine)
+    if ctx.n_threads < 2:
+        raise ValueError("pingpong needs at least two threads")
+    word = ctx.space.alloc(0, 128)
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        if g > 1:
+            yield from ctx.barrier.wait(k, g)
+            return
+        for r in range(rounds):
+            turn = 2 * r + g
+            yield from spin_until(k, word, lambda v, t=turn: v >= t)
+            k.store(word, value=turn + 1)
+            yield
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)
+
+
+def sharing(machine, rounds: int = 10, reader_words: int = 16):
+    """Thread 0 writes a block each round; all others read it."""
+    ctx = AppContext(machine)
+    block = ctx.space.alloc(0, reader_words * WORD)
+    flag = ctx.space.alloc(0, 128)
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        for r in range(1, rounds + 1):
+            if g == 0:
+                for i in range(reader_words):
+                    k.store(block + i * WORD, value=r)
+                yield
+                k.store(flag, value=r)
+                yield
+            else:
+                yield from spin_until(k, flag, lambda v, rr=r: v >= rr)
+                acc = k.alu()
+                for i in range(reader_words):
+                    a = k.load(block + i * WORD)
+                    acc = k.alu(a, acc)
+                yield
+            yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)
+
+
+def lockstep(machine, rounds: int = 10):
+    ctx = AppContext(machine)
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        for _ in range(rounds):
+            k.alu()
+            yield
+            yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)
+
+
+def contended_lock(machine, increments: int = 5):
+    """Every thread increments a shared counter under one lock."""
+    ctx = AppContext(machine)
+    lock = SpinLock(ctx.space, node=0)
+    counter = ctx.space.alloc(0, 128)
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        for _ in range(increments):
+            yield from lock.acquire(k)
+            k.spin_load(counter)
+            v = yield AWAIT
+            k.store(counter, value=v + 1)
+            lock.release(k)
+            yield
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

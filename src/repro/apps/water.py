@@ -1,0 +1,102 @@
+"""Water: n-body molecular dynamics, O(n²/2) interactions (SPLASH-2
+Water-Nsquared structure, scaled).
+
+Molecule records are block-distributed.  Each time step runs the
+intra-molecule phase (local, FP-heavy), the inter-molecule force phase
+— every thread computes the pair interactions for its molecules
+against all higher-numbered molecules, reading remote molecule data
+and accumulating into private partial forces — and a locked
+force-update phase where partial forces are added into the shared
+per-molecule records under per-molecule locks.  Water is the paper's
+most compute-intensive application: tiny miss rates, lowest protocol
+occupancy, and poorly-trained protocol branch prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.apps.base import AppContext
+from repro.apps.program import KernelBuilder
+from repro.apps.runtime import SpinLock
+
+WORD = 8
+MOL_WORDS = 16  # positions, velocities, forces (3 atoms' worth, scaled)
+
+
+def make_sources(machine, molecules: int = 24, steps: int = 2):
+    ctx = AppContext(machine)
+    mmap = ctx.block_map(molecules)
+    mol_base: List[int] = []
+    locks: List[SpinLock] = []
+    for m in range(molecules):
+        owner = mmap.owner_of(m)
+        mol_base.append(
+            ctx.space.alloc(ctx.node_of(owner), MOL_WORDS * WORD)
+        )
+        locks.append(SpinLock(ctx.space, ctx.node_of(owner)))
+
+    def my_molecules(g: int) -> range:
+        return mmap.range_of(g)
+
+    def intra(k: KernelBuilder, m: int) -> None:
+        """Local bonded-force computation for one molecule."""
+        pos = [k.load(mol_base[m] + i * WORD, fp=True) for i in range(3)]
+        acc = pos[0]
+        for _ in range(8):
+            acc = k.falu(acc, pos[1])
+            pos[1] = k.falu(pos[1], pos[2])
+        k.store(mol_base[m] + 3 * WORD, acc)
+
+    def pair(k: KernelBuilder, mi: int, mj: int) -> None:
+        """One i-j interaction: remote reads of j, private accumulate."""
+        xi = k.load(mol_base[mi] + 0, fp=True)
+        xj = k.load(mol_base[mj] + 0, fp=True)
+        yj = k.load(mol_base[mj] + WORD, fp=True)
+        d = k.falu(xi, xj)
+        e = k.falu(d, yj)
+        for _ in range(11):
+            d = k.falu(d, e)
+            e = k.falu(e, d)
+        # Private partial force accumulators stay in registers/stack.
+
+    def force_update(k: KernelBuilder, g: int, m: int) -> Iterator:
+        yield from locks[m].acquire(k)
+        f = k.load(mol_base[m] + 4 * WORD, fp=True)
+        f = k.falu(f, f)
+        k.store(mol_base[m] + 4 * WORD, f)
+        locks[m].release(k)
+        yield
+
+    def body(k: KernelBuilder, g: int) -> Iterator:
+        yield from ctx.barrier.wait(k, g)
+        for _ in range(steps):
+            # Intra-molecule (local compute).
+            for m in my_molecules(g):
+                intra(k, m)
+                yield
+            yield from ctx.barrier.wait(k, g)
+            # Inter-molecule: i against all j > i (half the matrix).
+            for mi in my_molecules(g):
+                top = k.here()
+                others = list(range(mi + 1, molecules))
+                for n, mj in enumerate(others):
+                    k.set_pc(top)
+                    pair(k, mi, mj)
+                    k.branch(n + 1 < len(others), top)
+                    if n % 4 == 3:
+                        yield
+                yield
+            yield from ctx.barrier.wait(k, g)
+            # Locked accumulation: all own molecules (local locks) plus
+            # a few remote ones this thread's pairs touched.
+            mine = my_molecules(g)
+            for mj in range(molecules):
+                if mj not in mine and (mj + g) % 8 == 0:
+                    yield from force_update(k, g, mj)
+            for m in mine:
+                yield from force_update(k, g, m)
+            yield from ctx.barrier.wait(k, g)
+        yield from ctx.barrier.wait(k, g)
+
+    return ctx.build_sources(body)

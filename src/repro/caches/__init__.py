@@ -1,0 +1,23 @@
+"""Cache substrate: set-associative caches, MSHRs, bypass buffers,
+and the per-node hierarchy."""
+
+from repro.caches.bypass import BypassBuffer
+from repro.caches.coherence import CacheState
+from repro.caches.hierarchy import BLOCKED, HIT, MISS, CacheHierarchy, is_protocol_space
+from repro.caches.mshr import MissKind, MSHREntry, MSHRFile
+from repro.caches.sa_cache import CacheLine, SetAssocCache
+
+__all__ = [
+    "BLOCKED",
+    "BypassBuffer",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheState",
+    "HIT",
+    "MISS",
+    "MSHREntry",
+    "MSHRFile",
+    "MissKind",
+    "SetAssocCache",
+    "is_protocol_space",
+]

@@ -1,0 +1,84 @@
+"""Protocol-thread bypass buffers (paper §2.2).
+
+A protocol load/store (or instruction fetch) whose line conflicts with
+an in-flight application miss cannot wait for the application line —
+the application miss may itself be waiting on this very handler, a
+deadlock cycle.  Instead the protocol line is allocated in a small
+fully-associative bypass buffer that is searched in parallel with the
+cache.  The buffer is sized to the MSHR count (16 lines) so that even
+the pathological all-conflicting case fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class BypassBuffer:
+    """Fully associative, LRU, cache-line-sized entries, protocol-only."""
+
+    def __init__(self, name: str, n_lines: int, line_bytes: int) -> None:
+        self.name = name
+        self.n_lines = n_lines
+        self.line_shift = line_bytes.bit_length() - 1
+        # line address -> (version, dirty, lru)
+        self._lines: Dict[int, Tuple[int, bool, int]] = {}
+        self._tick = 0
+        self.allocations = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self.line_shift << self.line_shift
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """Return the stored version if ``addr``'s line is present."""
+        la = self.line_addr(addr)
+        hit = self._lines.get(la)
+        if hit is None:
+            return None
+        self._tick += 1
+        self._lines[la] = (hit[0], hit[1], self._tick)
+        self.hits += 1
+        return hit[0]
+
+    def write(self, addr: int, version: int) -> bool:
+        """Update a present line in place; False if absent."""
+        la = self.line_addr(addr)
+        if la not in self._lines:
+            return False
+        self._tick += 1
+        self._lines[la] = (version, True, self._tick)
+        return True
+
+    def install(self, addr: int, version: int, dirty: bool = False) -> Optional[Tuple[int, int, bool]]:
+        """Insert a line, evicting LRU if full.
+
+        Returns the evicted ``(line_addr, version, dirty)`` or None.
+        """
+        la = self.line_addr(addr)
+        evicted = None
+        if la not in self._lines and len(self._lines) >= self.n_lines:
+            victim = min(self._lines, key=lambda a: self._lines[a][2])
+            v_version, v_dirty, _ = self._lines.pop(victim)
+            evicted = (victim, v_version, v_dirty)
+        self._tick += 1
+        self._lines[la] = (version, dirty, self._tick)
+        self.allocations += 1
+        return evicted
+
+    def evict(self, addr: int) -> Optional[Tuple[int, bool]]:
+        """Remove a line, returning (version, dirty) if present."""
+        la = self.line_addr(addr)
+        entry = self._lines.pop(la, None)
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def drain(self) -> Dict[int, Tuple[int, bool]]:
+        """Remove and return everything (line_addr -> (version, dirty))."""
+        out = {la: (v, d) for la, (v, d, _) in self._lines.items()}
+        self._lines.clear()
+        return out

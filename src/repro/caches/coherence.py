@@ -1,0 +1,26 @@
+"""Cache-side coherence states.
+
+The node caches keep MESI-style states; the directory side (home node)
+keeps its own state encoding in :mod:`repro.protocol.directory`.  The
+protocol uses eager-exclusive replies, so a read miss to an unowned
+line installs EXCLUSIVE (clean, writable) rather than SHARED.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CacheState(enum.IntEnum):
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2  # clean but writable (sole copy)
+    MODIFIED = 3
+
+    @property
+    def valid(self) -> bool:
+        return self is not CacheState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        return self in (CacheState.EXCLUSIVE, CacheState.MODIFIED)

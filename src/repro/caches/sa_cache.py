@@ -1,0 +1,178 @@
+"""Set-associative cache with true-LRU replacement.
+
+One class serves L1I, L1D, L2 and the direct-mapped directory/protocol
+caches (associativity 1).  Lines carry a coherence state, a dirty bit,
+a data *version* token (used by the coherence checker to detect lost
+updates), and the class of the requester that allocated them
+(application vs protocol) so cache-pollution effects are measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.caches.coherence import CacheState
+from repro.common.params import CacheParams
+from repro.common.stats import CacheStats
+
+
+class CacheLine:
+    __slots__ = ("tag", "state", "dirty", "version", "protocol", "lru", "locked")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.state = CacheState.INVALID
+        self.dirty = False
+        self.version = 0
+        self.protocol = False
+        self.lru = 0
+        # A locked line may not be chosen as a replacement victim (used
+        # for lines with an in-flight transaction).
+        self.locked = False
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not CacheState.INVALID
+
+    def invalidate(self) -> None:
+        self.tag = -1
+        self.state = CacheState.INVALID
+        self.dirty = False
+        self.version = 0
+        self.protocol = False
+        self.locked = False
+
+
+class SetAssocCache:
+    """A blocking-refill set-associative cache model.
+
+    The cache is purely a tag/state store: timing lives in the
+    hierarchy and controllers.  ``lookup`` does not update LRU (probes);
+    ``access`` does.
+    """
+
+    def __init__(self, name: str, params: CacheParams, stats: CacheStats) -> None:
+        self.name = name
+        self.params = params
+        self.stats = stats
+        self.line_shift = params.line_bytes.bit_length() - 1
+        self.set_mask = params.n_sets - 1
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(params.assoc)] for _ in range(params.n_sets)
+        ]
+        self._tick = 0
+
+    # -- addressing -----------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr >> self.line_shift << self.line_shift
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self.line_shift) & self.set_mask
+
+    def _tag(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    # -- probes ---------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Return the valid line holding ``addr`` without touching LRU."""
+        tag = self._tag(addr)
+        for line in self._sets[self.set_index(addr)]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def access(self, addr: int) -> Optional[CacheLine]:
+        """Like :meth:`lookup` but promotes the line to MRU."""
+        line = self.lookup(addr)
+        if line is not None:
+            self._tick += 1
+            line.lru = self._tick
+        return line
+
+    def set_has_locked_conflict(self, addr: int) -> bool:
+        """True if every way of ``addr``'s set is valid-and-locked or
+        locked-invalid (an in-flight miss reserves its victim way).
+
+        This is the conflict condition that sends protocol thread
+        misses to the bypass buffer (paper §2.2).
+        """
+        return all(line.locked for line in self._sets[self.set_index(addr)])
+
+    # -- fills and evictions ---------------------------------------------
+    def victim(self, addr: int) -> Optional[CacheLine]:
+        """Choose the replacement victim for a fill of ``addr``.
+
+        Prefers an invalid unlocked way, else the LRU unlocked way.
+        Returns ``None`` when every way is locked (caller must retry or
+        divert to a bypass buffer).
+        """
+        candidates = [l for l in self._sets[self.set_index(addr)] if not l.locked]
+        if not candidates:
+            return None
+        for line in candidates:
+            if not line.valid:
+                return line
+        return min(candidates, key=lambda l: l.lru)
+
+    def install(
+        self,
+        addr: int,
+        state: CacheState,
+        version: int = 0,
+        protocol: bool = False,
+        dirty: bool = False,
+    ) -> CacheLine:
+        """Fill ``addr`` into its chosen victim way (must be available).
+
+        The caller is responsible for having handled the victim's
+        eviction (writeback / inclusion) via :meth:`victim` first.
+        """
+        line = self.victim(addr)
+        if line is None:
+            raise RuntimeError(f"{self.name}: no victim available for {addr:#x}")
+        line.tag = self._tag(addr)
+        line.state = state
+        line.dirty = dirty
+        line.version = version
+        line.protocol = protocol
+        line.locked = False
+        self._tick += 1
+        line.lru = self._tick
+        return line
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Invalidate the line holding ``addr``; returns the old line."""
+        line = self.lookup(addr)
+        if line is None:
+            return None
+        snapshot = CacheLine()
+        snapshot.tag = line.tag
+        snapshot.state = line.state
+        snapshot.dirty = line.dirty
+        snapshot.version = line.version
+        snapshot.protocol = line.protocol
+        line.invalidate()
+        return snapshot
+
+    # -- iteration (checker / flush) --------------------------------------
+    def valid_lines(self) -> Iterator[CacheLine]:
+        for cache_set in self._sets:
+            for line in cache_set:
+                if line.valid:
+                    yield line
+
+    def line_address_of(self, line: CacheLine) -> int:
+        return line.tag << self.line_shift
+
+    def flush(self, sink: Callable[[int, CacheLine], None]) -> None:
+        """Invalidate everything, handing each valid line to ``sink``."""
+        for cache_set in self._sets:
+            for line in cache_set:
+                if line.valid:
+                    sink(self.line_address_of(line), line)
+                    line.invalidate()
+
+    def contents(self) -> Dict[int, CacheState]:
+        return {
+            self.line_address_of(line): line.state for line in self.valid_lines()
+        }

@@ -1,0 +1,51 @@
+"""Shared substrate: configuration, statistics, queues, errors."""
+
+from repro.common.errors import (
+    CoherenceViolation,
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.common.params import (
+    PERFECT,
+    CacheParams,
+    MachineParams,
+    MemoryParams,
+    NetworkParams,
+    ProcessorParams,
+)
+from repro.common.queues import BoundedQueue, DualQueue, ReservedPool
+from repro.common.stats import (
+    CacheStats,
+    MachineStats,
+    NodeStats,
+    ProtocolStats,
+    ResourcePeaks,
+    ThreadStats,
+    speedup,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "CacheParams",
+    "CacheStats",
+    "CoherenceViolation",
+    "ConfigError",
+    "DeadlockError",
+    "DualQueue",
+    "MachineParams",
+    "MachineStats",
+    "MemoryParams",
+    "NetworkParams",
+    "NodeStats",
+    "PERFECT",
+    "ProcessorParams",
+    "ProtocolError",
+    "ProtocolStats",
+    "ReservedPool",
+    "ResourcePeaks",
+    "SimulationError",
+    "ThreadStats",
+    "speedup",
+]

@@ -1,0 +1,231 @@
+"""Statistics containers.
+
+Counters are grouped the way the paper reports them: per application
+thread (memory-stall decomposition for Figures 2-11), per protocol
+engine (Tables 7 and 8), per cache, and per node, rolled up into a
+:class:`MachineStats` with the derived quantities the experiment
+harness prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache, split by requester class."""
+
+    app_hits: int = 0
+    app_misses: int = 0
+    proto_hits: int = 0
+    proto_misses: int = 0
+    writebacks: int = 0
+    external_invalidations: int = 0
+    external_downgrades: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.app_hits + self.proto_hits
+
+    @property
+    def misses(self) -> int:
+        return self.app_misses + self.proto_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, hit: bool, protocol: bool) -> None:
+        if protocol:
+            if hit:
+                self.proto_hits += 1
+            else:
+                self.proto_misses += 1
+        else:
+            if hit:
+                self.app_hits += 1
+            else:
+                self.app_misses += 1
+
+
+@dataclass
+class ThreadStats:
+    """One application thread context's retirement-side view."""
+
+    node: int = 0
+    context: int = 0
+    committed: int = 0
+    squashed: int = 0
+    # Cycles the graduation unit was stalled with a memory operation at
+    # the top of this thread's active list (the paper's "memory stall").
+    memory_stall_cycles: int = 0
+    other_stall_cycles: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    loads: int = 0
+    stores: int = 0
+    prefetches: int = 0
+    spin_iterations: int = 0
+    barrier_waits: int = 0
+    lock_acquires: int = 0
+    finish_cycle: int = 0
+    done: bool = False
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+
+@dataclass
+class ProtocolStats:
+    """Protocol execution counters (PP engine or SMTp protocol thread)."""
+
+    handlers: int = 0
+    handlers_by_type: Dict[str, int] = field(default_factory=dict)
+    instructions: int = 0
+    busy_cycles: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    squashed: int = 0
+    # Cycles in which the graduation unit freed at least one squashed
+    # protocol instruction (Table 8 "Squash %").
+    squash_cycles: int = 0
+    messages_sent: int = 0
+    nacks_sent: int = 0
+    retries: int = 0
+    dir_cache_hits: int = 0
+    dir_cache_misses: int = 0
+    picache_hits: int = 0
+    picache_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def count_handler(self, name: str) -> None:
+        self.handlers += 1
+        self.handlers_by_type[name] = self.handlers_by_type.get(name, 0) + 1
+
+
+@dataclass
+class ResourcePeaks:
+    """Peak protocol-thread occupancy of shared pipeline resources
+    (Table 9)."""
+
+    branch_stack: int = 0
+    int_regs: int = 0
+    int_queue: int = 0
+    lsq: int = 0
+
+
+@dataclass
+class NodeStats:
+    node: int = 0
+    l1i: CacheStats = field(default_factory=CacheStats)
+    l1d: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    bypass_allocations: int = 0
+    sdram_accesses: int = 0
+    sdram_busy_cycles: int = 0
+    local_misses: int = 0
+    remote_requests_in: int = 0
+    messages_in: int = 0
+    messages_out: int = 0
+    protocol: ProtocolStats = field(default_factory=ProtocolStats)
+    peaks: ResourcePeaks = field(default_factory=ResourcePeaks)
+    threads: List[ThreadStats] = field(default_factory=list)
+
+
+@dataclass
+class MachineStats:
+    """Roll-up for one simulation run."""
+
+    model: str = ""
+    n_nodes: int = 1
+    ways: int = 1
+    freq_ghz: float = 2.0
+    cycles: int = 0
+    nodes: List[NodeStats] = field(default_factory=list)
+
+    # ---- derived quantities used by the experiment harness ----
+
+    @property
+    def exec_seconds(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9)
+
+    def app_threads(self) -> List[ThreadStats]:
+        return [t for n in self.nodes for t in n.threads]
+
+    @property
+    def committed(self) -> int:
+        return sum(t.committed for t in self.app_threads())
+
+    @property
+    def memory_stall_cycles(self) -> float:
+        """Memory stall averaged over application threads (paper §4)."""
+        threads = self.app_threads()
+        if not threads:
+            return 0.0
+        return sum(t.memory_stall_cycles for t in threads) / len(threads)
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        return self.memory_stall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def protocol_instructions(self) -> int:
+        return sum(n.protocol.instructions for n in self.nodes)
+
+    def protocol_occupancy_peak(self) -> float:
+        """Max over nodes of protocol busy cycles / total (Table 7)."""
+        if not self.cycles or not self.nodes:
+            return 0.0
+        return max(n.protocol.busy_cycles for n in self.nodes) / self.cycles
+
+    def protocol_occupancy_mean(self) -> float:
+        if not self.cycles or not self.nodes:
+            return 0.0
+        busy = sum(n.protocol.busy_cycles for n in self.nodes)
+        return busy / (self.cycles * len(self.nodes))
+
+    def protocol_branch_mispredict_rate(self) -> float:
+        branches = sum(n.protocol.branches for n in self.nodes)
+        if not branches:
+            return 0.0
+        return sum(n.protocol.mispredicts for n in self.nodes) / branches
+
+    def protocol_squash_cycle_fraction(self) -> float:
+        if not self.cycles or not self.nodes:
+            return 0.0
+        sq = sum(n.protocol.squash_cycles for n in self.nodes)
+        return sq / (self.cycles * len(self.nodes))
+
+    def retired_protocol_share(self) -> float:
+        """Retired protocol instructions as a share of all retired."""
+        proto = self.protocol_instructions
+        total = proto + self.committed
+        return proto / total if total else 0.0
+
+    def resource_peaks(self) -> Dict[str, object]:
+        """Table 9: (max, mean-of-peaks) across nodes per resource."""
+        out: Dict[str, object] = {}
+        for name in ("branch_stack", "int_regs", "int_queue", "lsq"):
+            peaks = [getattr(n.peaks, name) for n in self.nodes]
+            out[name] = (max(peaks), sum(peaks) / len(peaks)) if peaks else (0, 0.0)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def speedup(baseline: MachineStats, parallel: MachineStats) -> float:
+    """Self-relative speedup (Tables 5 and 6)."""
+    if parallel.cycles == 0:
+        raise ZeroDivisionError("parallel run has zero cycles")
+    return baseline.cycles / parallel.cycles

@@ -1,0 +1,17 @@
+"""The paper's contribution: the SMTp protocol-thread mechanism, node
+and machine assembly, and the five Table 4 machine models."""
+
+from repro.core.machine import Machine
+from repro.core.models import MODELS, make_machine_params, paper_exact_params
+from repro.core.node import Node
+from repro.core.protocol_thread import ProtocolThreadSource, SMTpPort
+
+__all__ = [
+    "MODELS",
+    "Machine",
+    "Node",
+    "ProtocolThreadSource",
+    "SMTpPort",
+    "make_machine_params",
+    "paper_exact_params",
+]

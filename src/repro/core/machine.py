@@ -1,0 +1,160 @@
+"""The whole machine: N nodes, the interconnect, and the global clock.
+
+Clocking: the machine steps at processor frequency.  Memory
+controllers (and PP engines) act every ``mc_divisor`` ticks; network
+and SDRAM timing are pre-converted to processor cycles.  Cores step
+every tick.
+
+Forward progress is watched: if no instruction commits and no memory
+event fires for ``watchdog_cycles``, a :class:`DeadlockError` with a
+per-node dump is raised — protocol bugs surface as dumps, not hangs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import DeadlockError
+from repro.common.events import EventWheel
+from repro.common.params import MachineParams
+from repro.common.stats import MachineStats
+from repro.core.node import Node
+from repro.network.fabric import Interconnect
+from repro.protocol.checker import CoherenceChecker
+from repro.protocol import extensions
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.handlers import build_handler_table
+
+
+class Machine:
+    def __init__(self, mp: MachineParams) -> None:
+        self.mp = mp
+        self.wheel = EventWheel()
+        self.cycle = 0
+        self.layout = DirectoryLayout.for_machine(mp)
+        self.handler_table = build_handler_table()
+        extensions.install(self.handler_table)
+        self.fabric = Interconnect(mp, self.wheel)
+        #: Functional word store (synchronization values).
+        self.words: Dict[int, int] = {}
+        self.nodes: List[Node] = [
+            Node(
+                i,
+                mp,
+                self.wheel,
+                self.layout,
+                self.handler_table,
+                self.fabric.send,
+                self.words,
+            )
+            for i in range(mp.n_nodes)
+        ]
+        for node in self.nodes:
+            self.fabric.attach(node.node_id, node.mc.ni_receive)
+        self.checker: Optional[CoherenceChecker] = None
+        if mp.check_coherence:
+            self.checker = CoherenceChecker()
+            self.checker.attach(self)
+        self._progress_cycle = 0
+
+    # ------------------------------------------------------------------
+    def install_cores(self, sources_per_node: List[list]) -> None:
+        """Create one SMT core per node running the given app sources."""
+        from repro.core.protocol_thread import ProtocolThreadSource, SMTpPort
+        from repro.pipeline.core import SMTCore
+
+        for node, sources in zip(self.nodes, sources_per_node):
+            proto = None
+            if self.mp.protocol_engine == "thread":
+                proto = ProtocolThreadSource(node)
+            core = SMTCore(node, sources, proto)
+            core.machine = self
+            node.core = core
+            if proto is not None:
+                node.mc.engine = SMTpPort(
+                    proto, self.mp.proc.look_ahead_scheduling
+                )
+
+    def finish(self) -> None:
+        """Post-run bookkeeping: peaks, busy-time sampling."""
+        for node in self.nodes:
+            if node.core is not None:
+                node.core.sample_protocol_peaks()
+
+    # ------------------------------------------------------------------
+    def note_progress(self) -> None:
+        """Called by cores on commit and by tests on external progress."""
+        self._progress_cycle = self.cycle
+
+    def step(self) -> None:
+        self.cycle += 1
+        fired = self.wheel.tick(self.cycle)
+        if fired:
+            self._progress_cycle = self.cycle
+        if self.cycle % self.mp.mc_divisor == 0:
+            for node in self.nodes:
+                node.mc.step()
+        for node in self.nodes:
+            if node.core is not None:
+                node.core.step()
+        if self.cycle - self._progress_cycle > self.mp.watchdog_cycles:
+            raise DeadlockError(self._deadlock_report())
+
+    def run(self, max_cycles: int) -> None:
+        for _ in range(max_cycles):
+            if self.all_done():
+                return
+            self.step()
+
+    def all_done(self) -> bool:
+        return all(
+            node.core is None or node.core.done for node in self.nodes
+        )
+
+    def quiesce(self, max_cycles: int = 2_000_000) -> None:
+        """Run until every in-flight transaction has drained."""
+        for _ in range(max_cycles):
+            if not self.busy():
+                return
+            self.step()
+        raise DeadlockError(
+            f"machine did not quiesce in {max_cycles} cycles\n"
+            + self._deadlock_report()
+        )
+
+    def busy(self) -> bool:
+        if len(self.wheel):
+            return True
+        if any(node.in_flight() for node in self.nodes):
+            return True
+        return any(
+            node.mc.engine is not None and not node.mc.engine.idle()
+            for node in self.nodes
+        )
+
+    def _deadlock_report(self) -> str:
+        lines = [f"no forward progress since cycle {self._progress_cycle}"]
+        lines.extend(node.describe_state() for node in self.nodes)
+        for node in self.nodes:
+            if node.core is not None:
+                lines.append(node.core.describe_state())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> MachineStats:
+        stats = MachineStats(
+            model=self.mp.model,
+            n_nodes=self.mp.n_nodes,
+            ways=self.mp.proc.app_threads,
+            freq_ghz=self.mp.proc.freq_ghz,
+            cycles=self.cycle,
+            nodes=[node.stats for node in self.nodes],
+        )
+        return stats
+
+    def final_checks(self) -> None:
+        """Run the coherence audit (requires check_coherence=True)."""
+        if self.checker is None:
+            return
+        self.checker.final_audit(self)
+        self.checker.audit_directory(self)

@@ -1,0 +1,20 @@
+"""Dynamic instruction (µop) representation shared by the application
+programs, the protocol-thread shadow interpreter, and the pipeline."""
+
+from repro.isa.uop import (
+    BRANCH_KINDS,
+    COMMIT_STAGE_KINDS,
+    FP_BASE,
+    MEMORY_KINDS,
+    Uop,
+    UopKind,
+)
+
+__all__ = [
+    "BRANCH_KINDS",
+    "COMMIT_STAGE_KINDS",
+    "FP_BASE",
+    "MEMORY_KINDS",
+    "Uop",
+    "UopKind",
+]

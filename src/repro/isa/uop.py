@@ -1,0 +1,168 @@
+"""The dynamic instruction (µop) record flowing through the pipeline.
+
+Both instruction sources produce these:
+
+* application thread programs (:mod:`repro.apps`) — trace-driven, so
+  branch outcomes, memory addresses and store values are filled in at
+  creation,
+* the protocol-thread shadow interpreter
+  (:mod:`repro.core.protocol_thread`) — handler instructions resolved
+  against live directory state at fetch time.
+
+The pipeline treats µops purely as timing tokens afterwards: renaming,
+issue, cache access, completion, commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class UopKind(enum.Enum):
+    ALU = enum.auto()  # single-cycle integer op
+    MUL = enum.auto()
+    DIV = enum.auto()
+    FALU = enum.auto()  # pipelined FP op
+    FDIV = enum.auto()
+    NOP = enum.auto()
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    PREFETCH = enum.auto()
+    ATOMIC = enum.auto()  # tas / fai / swap: non-speculative RMW
+    BRANCH = enum.auto()
+    CALL = enum.auto()
+    RETURN = enum.auto()
+    UNCACHED = enum.auto()  # protocol SENDH/SENDA/PROBE/COMPLETE/...
+    SWITCH = enum.auto()  # protocol: load next request header
+    LDCTXT = enum.auto()  # protocol: load next request address
+    SYNTH = enum.auto()  # injected wrong-path filler
+
+
+MEMORY_KINDS = frozenset(
+    {UopKind.LOAD, UopKind.STORE, UopKind.PREFETCH, UopKind.ATOMIC}
+)
+BRANCH_KINDS = frozenset({UopKind.BRANCH, UopKind.CALL, UopKind.RETURN})
+COMMIT_STAGE_KINDS = frozenset(
+    {UopKind.UNCACHED, UopKind.SWITCH, UopKind.LDCTXT}
+)
+
+#: Logical register namespaces: 0-31 integer, 32-63 floating point.
+FP_BASE = 32
+N_LOGICAL = 64
+
+
+class Uop:
+    __slots__ = (
+        # static (from the source)
+        "kind",
+        "thread",
+        "pc",
+        "srcs",
+        "dest",
+        "taken",
+        "target_pc",
+        "addr",
+        "value",
+        "atomic_op",
+        "operand",
+        "exclusive",
+        "latency",
+        "pinstr",
+        "ctx",
+        "on_value",
+        "protocol",
+        # dynamic (pipeline state)
+        "seq",
+        "psrcs",
+        "pdest",
+        "pdest_old",
+        "checkpoint",
+        "mem_seq",
+        "predicted_taken",
+        "mispredicted",
+        "issued",
+        "completed",
+        "complete_cycle",
+        "squashed",
+        "in_lsq",
+        "in_sb",
+        "result_value",
+    )
+
+    def __init__(
+        self,
+        kind: UopKind,
+        thread: int,
+        pc: int = 0,
+        srcs: Tuple[int, ...] = (),
+        dest: Optional[int] = None,
+        taken: bool = False,
+        target_pc: int = 0,
+        addr: int = 0,
+        value: Optional[int] = None,
+        atomic_op: Optional[str] = None,
+        operand: int = 0,
+        exclusive: bool = False,
+        latency: int = 1,
+        pinstr=None,
+        ctx=None,
+        on_value=None,
+        protocol: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.thread = thread
+        self.pc = pc
+        self.srcs = srcs
+        self.dest = dest
+        self.taken = taken
+        self.target_pc = target_pc
+        self.addr = addr
+        self.value = value
+        self.atomic_op = atomic_op
+        self.operand = operand
+        self.exclusive = exclusive
+        self.latency = latency
+        self.pinstr = pinstr
+        self.ctx = ctx
+        #: Callback fed the load/atomic result (spin & lock feedback).
+        self.on_value = on_value
+        self.protocol = protocol
+
+        self.seq = 0
+        self.psrcs: Tuple[int, ...] = ()
+        self.pdest = -1
+        self.pdest_old = -1
+        self.checkpoint = None
+        self.mem_seq = -1
+        self.predicted_taken = False
+        self.mispredicted = False
+        self.issued = False
+        self.completed = False
+        self.complete_cycle = -1
+        self.squashed = False
+        self.in_lsq = False
+        self.in_sb = False
+        self.result_value = 0
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in MEMORY_KINDS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in BRANCH_KINDS
+
+    @property
+    def commit_stage(self) -> bool:
+        return self.kind in COMMIT_STAGE_KINDS
+
+    @property
+    def is_fp(self) -> bool:
+        return self.kind in (UopKind.FALU, UopKind.FDIV)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Uop({self.kind.name}, t{self.thread}, pc={self.pc:#x}, "
+            f"seq={self.seq})"
+        )

@@ -1,0 +1,19 @@
+"""Memory controller: SDRAM, directory caches, handler dispatch, the
+controller proper, and the embedded protocol processor."""
+
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.dircache import DirectMappedCache, PerfectCache, make_directory_cache
+from repro.memctrl.dispatch import HandlerContext, handler_name_for
+from repro.memctrl.ppengine import PPEngine
+from repro.memctrl.sdram import SDRAM
+
+__all__ = [
+    "DirectMappedCache",
+    "HandlerContext",
+    "MemoryController",
+    "PPEngine",
+    "PerfectCache",
+    "SDRAM",
+    "handler_name_for",
+    "make_directory_cache",
+]

@@ -1,0 +1,65 @@
+"""Directory data cache and protocol instruction cache for the
+embedded protocol-processor machine models (Table 4).
+
+``Base``, ``Int512KB`` and ``Int64KB`` give their protocol processor a
+direct-mapped directory data cache (512 KB or 64 KB); ``IntPerfect``
+uses a perfect one.  All four share a fixed 32 KB direct-mapped
+protocol instruction cache.  SMTp has neither: its protocol thread
+uses the regular L1/L2 hierarchy.
+
+These are timing-only structures — directory *values* live in the
+node's protocol memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.params import PERFECT
+
+
+class DirectMappedCache:
+    """Tag-only direct-mapped cache with power-of-two geometry."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64) -> None:
+        self.line_shift = line_bytes.bit_length() - 1
+        self.n_lines = max(1, size_bytes // line_bytes)
+        self._tags: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; True on hit (miss allocates)."""
+        line = addr >> self.line_shift
+        index = line % self.n_lines
+        if self._tags.get(index) == line:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = line
+        return False
+
+
+class PerfectCache:
+    """Always hits (IntPerfect's directory data cache)."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        self.hits += 1
+        return True
+
+
+def make_directory_cache(spec):
+    """Build the directory data cache from a Table 4 spec value.
+
+    ``spec`` is a byte size, :data:`repro.common.params.PERFECT`, or
+    None (SMTp: no directory cache — callers must not ask for one).
+    """
+    if spec == PERFECT:
+        return PerfectCache()
+    if isinstance(spec, int):
+        return DirectMappedCache(spec)
+    raise ValueError(f"no directory cache for spec {spec!r}")

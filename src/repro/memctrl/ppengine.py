@@ -1,0 +1,145 @@
+"""The embedded dual-issue protocol processor (Base / Int* models).
+
+Executes the same handler programs as the SMTp protocol thread, but on
+a simple in-order dual-issue engine clocked at the memory controller
+frequency, with a direct-mapped directory data cache and a 32 KB
+direct-mapped protocol instruction cache (paper §3).
+
+Timing model (per handler dispatch):
+
+* 2 MC cycles of dispatch overhead,
+* ALU/branch instructions issue two per cycle; a taken branch ends its
+  issue pair and costs one refetch cycle,
+* LD/ST occupy one cycle on a directory-cache hit and stall for the
+  SDRAM access on a miss,
+* protocol I-cache misses stall for the SDRAM access (once per 64-byte
+  code line),
+* uncached operations issue one per cycle; their effects fire at their
+  issue time through :meth:`MemoryController.uncached_op`.
+
+The engine is busy from dispatch until the handler's LDCTXT; Table 7's
+protocol occupancy is exactly this busy time.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.common.params import MachineParams
+from repro.common.stats import NodeStats
+from repro.memctrl.dircache import DirectMappedCache, make_directory_cache
+from repro.memctrl.dispatch import HandlerContext
+from repro.protocol import semantics
+from repro.protocol.handlers import boot_registers
+from repro.protocol.isa import ADDR, HDR, POp
+
+DISPATCH_MC_CYCLES = 2
+MAX_HANDLER_STEPS = 10_000
+
+
+class PPEngine:
+    def __init__(
+        self,
+        node_id: int,
+        mp: MachineParams,
+        mc,  # MemoryController (circular: installed as mc.engine)
+        layout,
+        pmem: dict,
+        stats: NodeStats,
+    ) -> None:
+        self.node_id = node_id
+        self.mp = mp
+        self.mc = mc
+        self.pmem = pmem
+        self.stats = stats
+        self.regs = boot_registers(layout, node_id)
+        self.dir_cache = make_directory_cache(mp.dir_cache)
+        self.picache = DirectMappedCache(mp.protocol_icache_bytes, line_bytes=64)
+        self.mc_divisor = mp.mc_divisor
+        self.sdram_mc_cycles = max(1, mp.sdram_access_cycles // self.mc_divisor)
+        self._busy_until = 0
+
+    # -- engine interface -------------------------------------------------
+    def can_accept(self) -> bool:
+        return self.mc.wheel.now >= self._busy_until
+
+    def idle(self) -> bool:
+        return self.can_accept()
+
+    def dispatch(self, ctx: HandlerContext) -> None:
+        now = self.mc.wheel.now
+        self.regs[HDR] = ctx.header
+        self.regs[ADDR] = ctx.msg.addr
+        mc_cycles = self._execute(ctx)
+        busy = mc_cycles * self.mc_divisor
+        self._busy_until = now + busy
+        self.stats.protocol.busy_cycles += busy
+
+    # -- execution ----------------------------------------------------------
+    def _execute(self, ctx: HandlerContext) -> int:
+        """Walk the handler functionally, accumulating MC cycles."""
+        handler = ctx.handler
+        now = self.mc.wheel.now
+        t = DISPATCH_MC_CYCLES
+        slot = 0  # dual-issue pairing within the current cycle
+        index = 0
+        seen_code_lines = set()
+        for _ in range(MAX_HANDLER_STEPS):
+            instr = handler.instrs[index]
+            code_line = handler.pc_of(index) >> 6
+            if code_line not in seen_code_lines:
+                seen_code_lines.add(code_line)
+                if self.picache.access(code_line << 6):
+                    self.stats.protocol.picache_hits += 1
+                else:
+                    self.stats.protocol.picache_misses += 1
+                    t += self.sdram_mc_cycles
+                    slot = 0
+            self.stats.protocol.instructions += 1
+            op = instr.op
+            if op in (POp.SWITCH, POp.LDCTXT):
+                t += 1
+                slot = 0
+                if op is POp.LDCTXT:
+                    return t
+                index += 1
+                continue
+            result = semantics.step(
+                instr, index, self.regs, lambda a: self.pmem.get(a, 0)
+            )
+            if instr.is_memory:
+                slot = 0
+                if self.dir_cache.access(result.mem_addr):
+                    self.stats.protocol.dir_cache_hits += 1
+                    t += 1
+                else:
+                    self.stats.protocol.dir_cache_misses += 1
+                    t += self.sdram_mc_cycles
+                if result.is_store:
+                    self.pmem[result.mem_addr] = result.value
+                else:
+                    self.regs[result.dest] = result.value
+            elif result.uncached:
+                t += 1
+                slot = 0
+                self.mc.wheel.schedule_at(
+                    max(now, now + t * self.mc_divisor),
+                    lambda i=instr, v=result.value: self.mc.uncached_op(ctx, i, v),
+                )
+            elif instr.is_branch:
+                self.stats.protocol.branches += 1
+                slot = 0
+                t += 2 if result.taken else 1
+            else:
+                # Plain ALU: two per cycle.
+                if slot == 0:
+                    t += 1
+                    slot = 1
+                else:
+                    slot = 0
+                if result.dest is not None and result.dest != 0:
+                    self.regs[result.dest] = result.value
+            index = result.next_index
+        raise ProtocolError(
+            f"node {self.node_id}: handler {handler.name} exceeded "
+            f"{MAX_HANDLER_STEPS} steps"
+        )

@@ -1,0 +1,34 @@
+"""SDRAM timing model (Table 3: 80 ns access, 3.2 GB/s, 16-entry queue).
+
+A single-resource occupancy model: each line access holds the SDRAM
+data bus for the line-transfer time, and the requester sees data after
+the access latency measured from when the bus accepted the request.
+All times are in *processor* cycles; the memory controller converts.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import MachineParams
+from repro.common.stats import NodeStats
+
+
+class SDRAM:
+    def __init__(self, mp: MachineParams, stats: NodeStats) -> None:
+        self.access_cycles = mp.sdram_access_cycles
+        self.occupancy_cycles = mp.sdram_line_cycles
+        self.queue_capacity = mp.mem.sdram_queue
+        self.stats = stats
+        self._free_at = 0
+
+    def queue_depth(self, now: int) -> int:
+        """Approximate queued accesses implied by the busy horizon."""
+        backlog = max(0, self._free_at - now)
+        return backlog // self.occupancy_cycles
+
+    def access(self, now: int) -> int:
+        """Issue a line access at ``now``; returns data-ready cycle."""
+        start = max(now, self._free_at)
+        self._free_at = start + self.occupancy_cycles
+        self.stats.sdram_accesses += 1
+        self.stats.sdram_busy_cycles += self.occupancy_cycles
+        return start + self.access_cycles

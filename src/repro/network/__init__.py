@@ -1,0 +1,19 @@
+"""Interconnect substrate: messages, topology, fabric."""
+
+from repro.network.fabric import Interconnect
+from repro.network.messages import (
+    EXPECTS_MEMORY_DATA,
+    Message,
+    MsgType,
+    virtual_network,
+)
+from repro.network.topology import BristledHypercube
+
+__all__ = [
+    "BristledHypercube",
+    "EXPECTS_MEMORY_DATA",
+    "Interconnect",
+    "Message",
+    "MsgType",
+    "virtual_network",
+]

@@ -1,0 +1,104 @@
+"""The switched interconnect: links with occupancy, pipelined hops.
+
+Messages traverse injection link -> zero or more router-router links
+(e-cube order) -> ejection link.  Each directed physical link is
+modelled with a ``free_at`` occupancy horizon: a message occupies the
+link for its serialization time (header-only vs header+cache-line at
+the 1 GB/s Table 3 bandwidth) and experiences the 25 ns hop latency per
+traversal.  Virtual networks share physical links; per-VN buffering at
+routers is assumed adequate (infinite), while the *destination* network
+interface applies real backpressure — delivery retries until the NI
+input queue for the message's VN has space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.events import EventWheel
+from repro.common.params import MachineParams
+from repro.network.messages import Message
+from repro.network.topology import BristledHypercube
+
+Link = Tuple[str, int, int]
+
+#: Delivery callback: returns False when the NI input queue is full.
+Deliver = Callable[[Message], bool]
+
+
+class Interconnect:
+    RETRY_CYCLES = 4
+
+    def __init__(self, mp: MachineParams, wheel: EventWheel) -> None:
+        self.mp = mp
+        self.wheel = wheel
+        self.topo = BristledHypercube(mp.n_nodes, mp.net.bristle)
+        self._free_at: Dict[Link, int] = {}
+        self._deliver: Dict[int, Deliver] = {}
+        self.messages_sent = 0
+        self.total_hops = 0
+        self.total_latency = 0
+
+    def attach(self, node: int, deliver: Deliver) -> None:
+        self._deliver[node] = deliver
+
+    # ------------------------------------------------------------------
+    def _path_links(self, src: int, dest: int) -> List[Link]:
+        rs, rd = self.topo.router_of(src), self.topo.router_of(dest)
+        links: List[Link] = [("inj", src, rs)]
+        routers = self.topo.router_path(rs, rd)
+        for a, b in zip(routers, routers[1:]):
+            links.append(("net", a, b))
+        links.append(("ej", rd, dest))
+        return links
+
+    def _serialization(self, msg: Message) -> int:
+        if msg.carries_data:
+            return self.mp.data_msg_link_cycles
+        return self.mp.ctrl_msg_link_cycles
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it is eventually handed to the destination NI."""
+        if msg.dest == msg.src:
+            raise ValueError(f"message to self should not enter the network: {msg}")
+        self.messages_sent += 1
+        links = self._path_links(msg.src, msg.dest)
+        self.total_hops += len(links)
+        self._traverse(msg, links, 0, self.wheel.now, self.wheel.now)
+
+    def _traverse(
+        self, msg: Message, links: List[Link], idx: int, ready: int, injected: int
+    ) -> None:
+        if idx >= len(links):
+            self._try_deliver(msg, injected)
+            return
+        link = links[idx]
+        ser = self._serialization(msg)
+        start = max(ready, self._free_at.get(link, 0))
+        self._free_at[link] = start + ser
+        # Wormhole routing: the head flit advances after the hop time
+        # while the body still streams; serialization is only fully
+        # paid at the final (ejection) link.
+        head_arrive = start + self.mp.hop_cycles
+        if idx == len(links) - 1:
+            arrive = head_arrive + ser
+        else:
+            arrive = head_arrive
+        self.wheel.schedule_at(
+            arrive, lambda: self._traverse(msg, links, idx + 1, arrive, injected)
+        )
+
+    def _try_deliver(self, msg: Message, injected: int) -> None:
+        deliver = self._deliver[msg.dest]
+        if deliver(msg):
+            self.total_latency += self.wheel.now - injected
+            return
+        self.wheel.schedule(
+            self.RETRY_CYCLES, lambda: self._try_deliver(msg, injected)
+        )
+
+    # ------------------------------------------------------------------
+    def mean_latency(self) -> float:
+        if not self.messages_sent:
+            return 0.0
+        return self.total_latency / self.messages_sent

@@ -1,0 +1,66 @@
+"""2-way bristled hypercube topology with dimension-order routing.
+
+Following the SGI Spider fabric the paper simulates: every router hosts
+``bristle`` (=2) nodes, and routers form a binary hypercube.  Routing
+is e-cube (lowest dimension first), so paths are deterministic and
+deadlock-free within each virtual network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class BristledHypercube:
+    def __init__(self, n_nodes: int, bristle: int = 2) -> None:
+        if n_nodes < 1 or n_nodes & (n_nodes - 1):
+            raise ConfigError(f"n_nodes must be a power of two: {n_nodes}")
+        self.n_nodes = n_nodes
+        self.bristle = min(bristle, n_nodes)
+        self.n_routers = max(1, n_nodes // self.bristle)
+        self.dim = (self.n_routers - 1).bit_length()
+
+    def router_of(self, node: int) -> int:
+        return node // self.bristle
+
+    def nodes_of(self, router: int) -> List[int]:
+        base = router * self.bristle
+        return [base + i for i in range(self.bristle) if base + i < self.n_nodes]
+
+    def router_path(self, src_router: int, dest_router: int) -> List[int]:
+        """E-cube route: the sequence of routers visited (inclusive)."""
+        path = [src_router]
+        cur = src_router
+        diff = src_router ^ dest_router
+        bit = 0
+        while diff:
+            if diff & 1:
+                cur ^= 1 << bit
+                path.append(cur)
+            diff >>= 1
+            bit += 1
+        return path
+
+    def hops(self, src_node: int, dest_node: int) -> int:
+        """Total link traversals node-to-node (incl. injection/ejection)."""
+        if src_node == dest_node:
+            return 0
+        rs, rd = self.router_of(src_node), self.router_of(dest_node)
+        return 2 + bin(rs ^ rd).count("1")
+
+    def links(self) -> List[Tuple[str, int, int]]:
+        """Every directed link: ('inj', node, router), ('ej', router,
+        node) and ('net', router_a, router_b)."""
+        out: List[Tuple[str, int, int]] = []
+        for node in range(self.n_nodes):
+            r = self.router_of(node)
+            out.append(("inj", node, r))
+            out.append(("ej", r, node))
+        for r in range(self.n_routers):
+            for bit in range(self.dim):
+                peer = r ^ (1 << bit)
+                if peer < self.n_routers:
+                    out.append(("net", r, peer))
+        return out

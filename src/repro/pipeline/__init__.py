@@ -1,0 +1,16 @@
+"""The out-of-order SMT core: branch prediction, renaming, and the
+pipeline proper."""
+
+from repro.pipeline.branch import BTB, ReturnAddressStack, TournamentPredictor
+from repro.pipeline.core import SMTCore, ThreadContext
+from repro.pipeline.regfile import Checkpoint, RenameUnit
+
+__all__ = [
+    "BTB",
+    "Checkpoint",
+    "RenameUnit",
+    "ReturnAddressStack",
+    "SMTCore",
+    "ThreadContext",
+    "TournamentPredictor",
+]

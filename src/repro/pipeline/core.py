@@ -1,0 +1,731 @@
+"""The out-of-order SMT core.
+
+Nine logical stages (fetch, decode, rename, issue, two register-read
+stages, execute, cache access, commit) modelled as four simulation
+stages with queue latencies in between; the front-end depth shows up
+in the mispredict redirect penalty and in issue-to-complete latencies.
+
+SMT mechanics per the paper:
+
+* ICOUNT(2,8) fetch: the two least-occupying threads share an 8-wide
+  fetch, first thread until a predicted-taken branch.
+* Dynamically shared decode/rename queues, IQ, LSQ, store buffer,
+  MSHRs and physical registers, with one reserved instance of each for
+  the protocol thread (deadlock avoidance, §2.2).
+* Round-robin commit within and across cycles.
+* Per-thread active lists (128 entries).
+* The protocol thread's uncached operations execute non-speculatively
+  at graduation; SWITCH stalls at the head until the dispatch unit
+  supplies the next request.
+
+Trace-driven speculation: sources supply oracle outcomes, the
+predictor supplies guesses; on a mispredict the thread fetches
+synthetic wrong-path µops that consume real resources until the branch
+resolves, at which point the thread's younger µops are squashed and
+the map/RAS checkpoints restored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.caches.hierarchy import BLOCKED, HIT, MISS
+from repro.common.params import ProcessorParams
+from repro.common.queues import DualQueue, ReservedPool
+from repro.common.stats import ThreadStats
+from repro.isa.uop import Uop, UopKind
+from repro.pipeline.branch import BTB, ReturnAddressStack, TournamentPredictor
+from repro.pipeline.regfile import RenameUnit
+from repro.protocol.extensions import AM_OPS
+
+#: Extra cycles from issue to execute (the two register-read stages).
+READ_STAGES = 2
+#: Synthetic wrong-path µop cap per mispredict (resource back-pressure
+#: throttles well before this).
+WRONG_PATH_CAP = 64
+
+_EXEC_LATENCY = {
+    UopKind.ALU: 1,
+    UopKind.SYNTH: 1,
+    UopKind.NOP: 1,
+    UopKind.MUL: 6,
+    UopKind.DIV: 35,
+    UopKind.FALU: 1,
+    UopKind.FDIV: 19,
+    UopKind.BRANCH: 1,
+    UopKind.CALL: 1,
+    UopKind.RETURN: 1,
+}
+
+
+class ThreadContext:
+    """Per-hardware-context front-end and window state."""
+
+    __slots__ = (
+        "tid",
+        "source",
+        "protocol",
+        "rob",
+        "icount",
+        "fetch_stalled",
+        "cur_fetch_line",
+        "wrongpath_branch",
+        "wp_emitted",
+        "wp_pc",
+        "mem_seq_next",
+        "mem_issue_next",
+        "ras",
+        "stats",
+        "done",
+    )
+
+    def __init__(self, tid: int, source, protocol: bool, stats: ThreadStats) -> None:
+        self.tid = tid
+        self.source = source
+        self.protocol = protocol
+        self.rob: Deque[Uop] = deque()
+        self.icount = 0
+        self.fetch_stalled = False
+        self.cur_fetch_line = -1
+        self.wrongpath_branch: Optional[Uop] = None
+        self.wp_emitted = 0
+        self.wp_pc = 0
+        self.mem_seq_next = 0
+        self.mem_issue_next = 0
+        self.ras = ReturnAddressStack()
+        self.stats = stats
+        self.done = False
+
+
+class SMTCore:
+    def __init__(self, node, sources: List, proto_source=None) -> None:
+        """``sources`` are the application thread programs; the optional
+        ``proto_source`` is the protocol-thread shadow interpreter."""
+        self.node = node
+        self.pp: ProcessorParams = node.mp.proc
+        self.hierarchy = node.hierarchy
+        self.wheel = node.wheel
+        self.machine = None  # set by the machine for progress notes
+
+        pp = self.pp
+        self.rename = RenameUnit(pp)
+        self.predictor = TournamentPredictor(
+            pp.total_threads, pp.local_history_bits, pp.global_history_bits
+        )
+        self.btb = BTB(pp.btb_sets, pp.btb_assoc)
+
+        res = pp.protocol_thread
+        self.decode_q: DualQueue[Uop] = DualQueue(
+            "decode", pp.decode_queue_slots, pp.reserved_decode_slots if res else 0
+        )
+        self.rename_q: DualQueue[Uop] = DualQueue(
+            "rename", pp.rename_queue_slots, pp.reserved_rename_slots if res else 0
+        )
+        self.iq_pool = ReservedPool(
+            "iq", pp.int_queue, pp.reserved_int_queue if res else 0
+        )
+        self.fq_pool = ReservedPool("fq", pp.fp_queue, 0)
+        self.lsq_pool = ReservedPool(
+            "lsq", pp.lsq_slots, pp.reserved_lsq_slots if res else 0
+        )
+        self.sb_pool = ReservedPool(
+            "sb", pp.store_buffer, pp.reserved_store_buffer if res else 0
+        )
+        self.bstack_pool = ReservedPool(
+            "bstack", pp.branch_stack, pp.reserved_branch_stack if res else 0
+        )
+        self.iq: List[Uop] = []
+        self.fq: List[Uop] = []
+
+        self.threads: List[ThreadContext] = []
+        for tid, source in enumerate(sources):
+            tstats = ThreadStats(node=node.node_id, context=tid)
+            node.stats.threads.append(tstats)
+            self.threads.append(ThreadContext(tid, source, False, tstats))
+        self.proto_tid = -1
+        if proto_source is not None:
+            tid = len(self.threads)
+            self.proto_tid = tid
+            tstats = ThreadStats(node=node.node_id, context=tid)
+            self.threads.append(ThreadContext(tid, proto_source, True, tstats))
+
+        self._seq = 0
+        self._rr = 0
+        self.cycle = 0
+        self.div_free_at = 0
+        self.fdiv_free_at = 0
+        # Same-thread store->load forwarding values (word granularity).
+        self._pending_stores: Dict[Tuple[int, int], List[int]] = {}
+        # Per-thread store-buffer FIFO: stores drain strictly in program
+        # order (the paper's processor is sequentially consistent).
+        self._sb_fifo: Dict[int, Deque[Uop]] = {
+            t.tid: deque() for t in self.threads
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return all(t.done for t in self.threads if not t.protocol)
+
+    def protocol_quiescent(self) -> bool:
+        """True when the protocol thread has no effects left to apply —
+        at most a SWITCH/LDCTXT pair stalled waiting for traffic."""
+        if self.proto_tid < 0:
+            return True
+        t = self.threads[self.proto_tid]
+        if t.source.fetching or t.source._buffer:
+            return False
+        return all(
+            u.kind in (UopKind.SWITCH, UopKind.LDCTXT) for u in t.rob
+        )
+
+    def describe_state(self) -> str:
+        parts = []
+        for t in self.threads:
+            head = t.rob[0] if t.rob else None
+            parts.append(
+                f"t{t.tid}{'p' if t.protocol else ''}: rob={len(t.rob)} "
+                f"ic={t.icount} head={head}"
+            )
+        return f"core {self.node.node_id}: " + " | ".join(parts)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self.cycle = self.wheel.now
+        if self.proto_tid >= 0:
+            port = self.threads[self.proto_tid].source.port
+            if port is not None and not port.idle():
+                # Table 7: the protocol thread is "active" while a
+                # handler has effects in flight.  A SWITCH idling at
+                # the head waiting for traffic does not count.
+                self.node.stats.protocol.busy_cycles += 1
+        self._commit()
+        self._issue()
+        self._rename_stage()
+        self._decode_stage()
+        self._fetch()
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _fetchable(self, t: ThreadContext) -> bool:
+        if t.done or t.fetch_stalled:
+            return False
+        if t.wrongpath_branch is not None:
+            return t.wp_emitted < WRONG_PATH_CAP
+        return t.source.peek_available()
+
+    def _fetch(self) -> None:
+        # ICOUNT(2,8).  Threads whose decode-queue section is full are
+        # not candidates (they would waste a fetch slot), and ICOUNT
+        # ties break toward the protocol thread — together with the
+        # reserved decode slot this guarantees the protocol thread is
+        # never starved of fetch by stalled application threads.
+        candidates = [
+            t
+            for t in self.threads
+            if self._fetchable(t) and self.decode_q.can_push(t.protocol)
+        ]
+        if not candidates:
+            return
+        candidates.sort(key=lambda t: (t.icount, not t.protocol))
+        budget = self.pp.fetch_width
+        for t in candidates[: self.pp.fetch_threads_per_cycle]:
+            if budget <= 0:
+                break
+            budget = self._fetch_thread(t, budget)
+
+    def _fetch_thread(self, t: ThreadContext, budget: int) -> int:
+        while budget > 0:
+            if not self.decode_q.can_push(t.protocol):
+                break
+            if t.wrongpath_branch is not None:
+                if t.wp_emitted >= WRONG_PATH_CAP:
+                    break
+                uop = self._make_synth(t)
+            else:
+                uop = t.source.next_uop()
+                if uop is None:
+                    break
+                if not self._icache_ok(t, uop):
+                    # I-miss: the µop stays un-consumed? No — sources
+                    # hand out µops destructively, so probe first.
+                    # (_icache_ok fetches the line; on a miss it stalls
+                    # the thread and we re-buffer the µop.)
+                    t.source.push_back(uop)
+                    break
+            self._seq += 1
+            uop.seq = self._seq
+            budget -= 1
+            t.icount += 1
+            taken_redirect = False
+            if uop.is_branch:
+                taken_redirect = self._predict(t, uop)
+            self.decode_q.push(uop, t.protocol)
+            if uop.kind is UopKind.LDCTXT:
+                break  # handler fetch complete; PPCV cleared by source
+            if uop.mispredicted and t.wrongpath_branch is None:
+                t.wrongpath_branch = uop
+                t.wp_emitted = 0
+                t.wp_pc = uop.pc + 4
+                break
+            if taken_redirect:
+                break  # fetch run ends at a predicted-taken branch
+        return budget
+
+    def _icache_ok(self, t: ThreadContext, uop: Uop) -> bool:
+        line = uop.pc >> 6
+        if line == t.cur_fetch_line:
+            return True
+        result = self.hierarchy.ifetch(
+            uop.pc, t.protocol, on_complete=lambda t=t: self._ifill_done(t)
+        )
+        if result[0] == HIT:
+            t.cur_fetch_line = line
+            return True
+        t.fetch_stalled = True
+        return False
+
+    def _ifill_done(self, t: ThreadContext) -> None:
+        t.fetch_stalled = False
+        t.cur_fetch_line = -1
+
+    def _make_synth(self, t: ThreadContext) -> Uop:
+        t.wp_emitted += 1
+        t.wp_pc += 4
+        # Wrong-path filler: integer ops chained through a rotating
+        # logical register window, consuming rename/IQ resources.
+        dest = 8 + (t.wp_emitted % 8)
+        src = 8 + ((t.wp_emitted - 1) % 8)
+        return Uop(
+            UopKind.SYNTH, t.tid, pc=t.wp_pc, srcs=(src,), dest=dest,
+            protocol=t.protocol,
+        )
+
+    def _predict(self, t: ThreadContext, uop: Uop) -> bool:
+        """Predict a branch; returns True when fetch redirects (predicted
+        taken).  Sets ``uop.mispredicted`` from the oracle outcome."""
+        t.stats.branches += 1
+        if t.protocol:
+            self.node.stats.protocol.branches += 1
+        if uop.kind is UopKind.CALL:
+            t.ras.push(uop.pc + 4)
+            predicted_taken = True
+            target_ok = True
+        elif uop.kind is UopKind.RETURN:
+            predicted = t.ras.pop()
+            predicted_taken = True
+            target_ok = predicted == uop.target_pc
+        else:
+            predicted_taken = self.predictor.predict(t.tid, uop.pc)
+            if predicted_taken and self.btb.lookup(uop.pc) is None:
+                predicted_taken = False  # no target available
+            target_ok = True
+        uop.predicted_taken = predicted_taken
+        uop.mispredicted = (predicted_taken != uop.taken) or (
+            uop.taken and not target_ok
+        )
+        if uop.taken:
+            self.btb.install(uop.pc, uop.target_pc)
+        if uop.mispredicted:
+            t.stats.mispredicts += 1
+            if t.protocol:
+                self.node.stats.protocol.mispredicts += 1
+        return predicted_taken and not uop.mispredicted
+
+    # ------------------------------------------------------------------
+    # Decode and rename
+    # ------------------------------------------------------------------
+
+    def _decode_stage(self) -> None:
+        moved = 0
+        first_proto = self.decode_q._proto_first
+        sections = (True, False) if first_proto else (False, True)
+        self.decode_q._proto_first = not first_proto
+        for protocol in sections:
+            src = self.decode_q.proto if protocol else self.decode_q.app
+            while src and moved < self.pp.front_end_width:
+                if not self.rename_q.can_push(protocol):
+                    break
+                self.rename_q.push(src.popleft(), protocol)
+                moved += 1
+
+    def _rename_stage(self) -> None:
+        renamed = 0
+        first_proto = self.rename_q._proto_first
+        sections = (True, False) if first_proto else (False, True)
+        self.rename_q._proto_first = not first_proto
+        for protocol in sections:
+            src = self.rename_q.proto if protocol else self.rename_q.app
+            while src and renamed < self.pp.front_end_width:
+                if not self._try_rename(src[0]):
+                    break
+                src.popleft()
+                renamed += 1
+
+    def _try_rename(self, uop: Uop) -> bool:
+        t = self.threads[uop.thread]
+        if len(t.rob) >= self.pp.active_list_per_thread:
+            return False
+        if not self.rename.can_rename(uop):
+            return False
+        protocol = uop.protocol
+        needs_iq = not uop.commit_stage
+        pool = self.fq_pool if uop.is_fp else self.iq_pool
+        if needs_iq and not pool.can_acquire(protocol):
+            return False
+        # SWITCH/LDCTXT are uncached loads: they hold LSQ slots until
+        # they graduate (the paper's "switch stalls the head of the
+        # load/store queue").
+        needs_lsq = uop.is_memory or uop.kind in (UopKind.SWITCH, UopKind.LDCTXT)
+        if needs_lsq and not self.lsq_pool.can_acquire(protocol):
+            return False
+        if uop.is_branch and not self.bstack_pool.can_acquire(protocol):
+            return False
+
+        if uop.is_branch:
+            self.bstack_pool.acquire(protocol)
+            uop.checkpoint = self.rename.checkpoint(uop.thread, t.ras.snapshot())
+        if needs_lsq:
+            self.lsq_pool.acquire(protocol)
+            uop.in_lsq = True
+            if uop.is_memory and uop.kind is not UopKind.PREFETCH:
+                uop.mem_seq = t.mem_seq_next
+                t.mem_seq_next += 1
+        self.rename.rename(uop)
+        t.rob.append(uop)
+        if needs_iq:
+            pool.acquire(protocol)
+            (self.fq if uop.is_fp else self.iq).append(uop)
+        # Table 9 peaks are tracked by the pools / rename unit.
+        return True
+
+    # ------------------------------------------------------------------
+    # Issue and execute
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        alu = 6
+        agu = 1
+        fpu = 3
+        if self.iq:
+            kept: List[Uop] = []
+            for uop in self.iq:
+                if uop.squashed:
+                    continue
+                if alu <= 0 and agu <= 0:
+                    kept.append(uop)
+                    continue
+                issued = False
+                if uop.is_memory:
+                    if agu > 0 and self._can_issue_mem(uop) and self.rename.all_ready(uop):
+                        issued = self._issue_mem(uop)
+                        if issued:
+                            agu -= 1
+                else:
+                    if alu > 0 and self.rename.all_ready(uop):
+                        if uop.kind is UopKind.DIV:
+                            if self.div_free_at > self.cycle:
+                                kept.append(uop)
+                                continue
+                            self.div_free_at = self.cycle + self.pp.int_div_latency
+                        issued = True
+                        alu -= 1
+                        self._schedule_complete(uop, self._latency_of(uop))
+                if issued:
+                    uop.issued = True
+                    self.threads[uop.thread].icount -= 1
+                    self.iq_pool.release(uop.protocol)
+                else:
+                    kept.append(uop)
+            self.iq = kept
+        if self.fq:
+            kept = []
+            for uop in self.fq:
+                if uop.squashed:
+                    continue
+                if fpu > 0 and self.rename.all_ready(uop):
+                    if uop.kind is UopKind.FDIV:
+                        if self.fdiv_free_at > self.cycle:
+                            kept.append(uop)
+                            continue
+                        self.fdiv_free_at = self.cycle + self.pp.fp_div_dp_latency
+                    fpu -= 1
+                    uop.issued = True
+                    self.threads[uop.thread].icount -= 1
+                    self.fq_pool.release(uop.protocol)
+                    self._schedule_complete(uop, self._latency_of(uop))
+                else:
+                    kept.append(uop)
+            self.fq = kept
+
+    def _latency_of(self, uop: Uop) -> int:
+        base = _EXEC_LATENCY.get(uop.kind, uop.latency)
+        if uop.latency > 1 and uop.kind is UopKind.ALU:
+            base = uop.latency  # e.g. slow POPC/CTZ ablation
+        return READ_STAGES + base
+
+    def _can_issue_mem(self, uop: Uop) -> bool:
+        t = self.threads[uop.thread]
+        if uop.kind is UopKind.PREFETCH:
+            return True
+        if uop.mem_seq != t.mem_issue_next:
+            return False
+        if uop.kind is UopKind.ATOMIC:
+            # Non-speculative and SC-ordered: all older instructions
+            # retired and all older stores globally performed.
+            return bool(t.rob) and t.rob[0] is uop and not self._sb_fifo[t.tid]
+        return True
+
+    def _issue_mem(self, uop: Uop) -> bool:
+        t = self.threads[uop.thread]
+        if uop.kind is UopKind.PREFETCH:
+            self.hierarchy.prefetch(uop.addr, uop.exclusive)
+            t.stats.prefetches += 1
+            self._schedule_complete(uop, READ_STAGES + 1)
+            return True
+        if uop.kind is UopKind.STORE:
+            # Address resolution only; data goes to memory post-commit.
+            word = uop.addr & ~7
+            self._pending_stores.setdefault((uop.thread, word), []).append(
+                uop.value if uop.value is not None else 0
+            )
+            t.mem_issue_next += 1
+            self._schedule_complete(uop, READ_STAGES + 1)
+            return True
+        if uop.kind is UopKind.ATOMIC:
+            if uop.atomic_op in AM_OPS:
+                # Active-memory extension: uncached remote op at home.
+                self.node.mc.am_request(
+                    uop.addr, AM_OPS[uop.atomic_op], uop.operand,
+                    lambda v, u=uop: self._mem_value_done(u, v),
+                )
+                t.mem_issue_next += 1
+                return True
+            result = self.hierarchy.atomic(
+                uop.addr, uop.atomic_op, uop.operand,
+                on_complete=lambda v, u=uop: self._mem_value_done(u, v),
+            )
+            if result[0] == BLOCKED:
+                return False
+            t.mem_issue_next += 1
+            if result[0] == HIT:
+                uop.result_value = result[2]
+                self._schedule_complete(uop, READ_STAGES + result[1], carry_value=True)
+            return True
+        # LOAD: same-thread store forwarding first.
+        word = uop.addr & ~7
+        pending = self._pending_stores.get((uop.thread, word))
+        if pending:
+            uop.result_value = pending[-1]
+            t.mem_issue_next += 1
+            self._schedule_complete(uop, READ_STAGES + 2, carry_value=True)
+            return True
+        result = self.hierarchy.load(
+            uop.addr, uop.protocol,
+            on_complete=lambda v, u=uop: self._mem_value_done(u, v),
+        )
+        if result[0] == BLOCKED:
+            return False
+        t.mem_issue_next += 1
+        if result[0] == HIT:
+            uop.result_value = result[2]
+            self._schedule_complete(uop, READ_STAGES + result[1], carry_value=True)
+        return True
+
+    def _mem_value_done(self, uop: Uop, value: int) -> None:
+        """A miss completed (callback from the memory system)."""
+        uop.result_value = value
+        self._complete(uop, carry_value=True)
+
+    def _schedule_complete(self, uop: Uop, latency: int, carry_value: bool = False) -> None:
+        self.wheel.schedule(
+            max(1, latency), lambda: self._complete(uop, carry_value)
+        )
+
+    def _complete(self, uop: Uop, carry_value: bool = False) -> None:
+        if uop.squashed or uop.completed:
+            return
+        uop.completed = True
+        uop.complete_cycle = self.wheel.now
+        if uop.pdest != -1:
+            self.rename.mark_ready(uop.pdest)
+        if uop.is_branch:
+            self._resolve_branch(uop)
+        if carry_value and uop.on_value is not None:
+            uop.on_value(uop.result_value)
+
+    # ------------------------------------------------------------------
+    # Branch resolution and recovery
+    # ------------------------------------------------------------------
+
+    def _resolve_branch(self, uop: Uop) -> None:
+        if uop.kind is UopKind.BRANCH:
+            self.predictor.update(uop.thread, uop.pc, uop.taken)
+        if not uop.mispredicted:
+            return
+        t = self.threads[uop.thread]
+        squashed_any = False
+        while t.rob and t.rob[-1] is not uop:
+            victim = t.rob.pop()
+            self._squash(victim)
+            squashed_any = True
+        # Front-end squash: wrong-path µops still sitting in the decode
+        # or rename queues are flushed too (they own no registers or
+        # window slots yet — only ICOUNT).
+        for q in (self.decode_q, self.rename_q):
+            section = q.proto if t.protocol else q.app
+            for queued in list(section):
+                if queued.thread == t.tid and queued.seq > uop.seq:
+                    section.remove(queued)
+                    queued.squashed = True
+                    t.icount -= 1
+                    t.stats.squashed += 1
+                    if t.protocol:
+                        self.node.stats.protocol.squashed += 1
+                    squashed_any = True
+        self.rename.restore(uop.checkpoint)
+        t.ras.repair(uop.checkpoint.ras_snap)
+        t.wrongpath_branch = None
+        t.cur_fetch_line = -1  # refetch redirects the I-stream
+        if squashed_any and t.protocol:
+            self.node.stats.protocol.squash_cycles += 1
+
+    def _squash(self, victim: Uop) -> None:
+        victim.squashed = True
+        t = self.threads[victim.thread]
+        t.stats.squashed += 1
+        if t.protocol:
+            self.node.stats.protocol.squashed += 1
+        if not victim.issued and not victim.commit_stage:
+            t.icount -= 1
+            pool = self.fq_pool if victim.is_fp else self.iq_pool
+            pool.release(victim.protocol)
+        elif victim.commit_stage:
+            t.icount -= 1
+        if victim.in_lsq:
+            self.lsq_pool.release(victim.protocol)
+            if victim.mem_seq >= 0:
+                t.mem_seq_next = min(t.mem_seq_next, victim.mem_seq)
+        if victim.is_branch:
+            self.bstack_pool.release(victim.protocol)
+        self.rename.squash_free(victim)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        # Memory-stall accounting (paper §4: per application thread).
+        for t in self.threads:
+            if t.rob:
+                head = t.rob[0]
+                if not self._retirable(head):
+                    if head.is_memory:
+                        t.stats.memory_stall_cycles += 1
+                    else:
+                        t.stats.other_stall_cycles += 1
+        budget = self.pp.commit_width
+        n = len(self.threads)
+        committed_any = False
+        for i in range(n):
+            t = self.threads[(self._rr + i) % n]
+            while budget > 0 and t.rob:
+                head = t.rob[0]
+                if not self._retirable(head):
+                    break
+                self._retire(t, head)
+                t.rob.popleft()
+                budget -= 1
+                committed_any = True
+            if budget <= 0:
+                break
+        self._rr = (self._rr + 1) % n
+        if committed_any and self.machine is not None:
+            self.machine.note_progress()
+        for t in self.threads:
+            if not t.protocol and not t.done:
+                if t.source.done and not t.rob and t.icount == 0:
+                    t.done = True
+                    t.stats.finish_cycle = self.cycle
+                    t.stats.done = True
+
+    def _retirable(self, uop: Uop) -> bool:
+        if uop.commit_stage:
+            if uop.kind in (UopKind.SWITCH, UopKind.LDCTXT):
+                return uop.ctx is not None and self.threads[
+                    uop.thread
+                ].source.next_ctx_available(uop.ctx)
+            return True  # UNCACHED executes right at retirement
+        if uop.kind is UopKind.STORE:
+            return uop.completed and self.sb_pool.can_acquire(uop.protocol)
+        return uop.completed
+
+    def _retire(self, t: ThreadContext, uop: Uop) -> None:
+        if uop.commit_stage:
+            t.icount -= 1  # commit-stage µops never joined the IQ
+            if uop.kind is UopKind.UNCACHED:
+                self.node.mc.uncached_op(uop.ctx, uop.pinstr, uop.value or 0)
+            elif uop.kind is UopKind.LDCTXT:
+                if uop.pdest != -1:
+                    self.rename.mark_ready(uop.pdest)
+                t.source.handler_committed(uop.ctx)
+            else:  # SWITCH
+                if uop.pdest != -1:
+                    self.rename.mark_ready(uop.pdest)
+        if uop.kind is UopKind.STORE:
+            self.sb_pool.acquire(uop.protocol)
+            fifo = self._sb_fifo[uop.thread]
+            fifo.append(uop)
+            if len(fifo) == 1:
+                self._drain_store(uop)
+        if uop.in_lsq:
+            self.lsq_pool.release(uop.protocol)
+        if uop.is_branch:
+            self.bstack_pool.release(uop.protocol)
+        self.rename.commit_free(uop)
+        t.stats.committed += 1
+        if t.protocol:
+            self.node.stats.protocol.instructions += 1
+        if uop.kind is UopKind.LOAD:
+            t.stats.loads += 1
+        elif uop.kind is UopKind.STORE:
+            t.stats.stores += 1
+
+    def _drain_store(self, uop: Uop) -> None:
+        result = self.hierarchy.store(
+            uop.addr, uop.protocol, uop.value,
+            on_complete=lambda v, u=uop: self._store_drained(u),
+        )
+        if result[0] == BLOCKED:
+            self.wheel.schedule(2, lambda: self._drain_store(uop))
+            return
+        if result[0] == HIT:
+            self.wheel.schedule(result[1], lambda: self._store_drained(uop))
+
+    def _store_drained(self, uop: Uop) -> None:
+        self.sb_pool.release(uop.protocol)
+        word = uop.addr & ~7
+        pending = self._pending_stores.get((uop.thread, word))
+        if pending:
+            pending.pop(0)
+            if not pending:
+                del self._pending_stores[(uop.thread, word)]
+        fifo = self._sb_fifo[uop.thread]
+        if fifo and fifo[0] is uop:
+            fifo.popleft()
+            if fifo:
+                self._drain_store(fifo[0])
+
+    # ------------------------------------------------------------------
+    # Table 9 sampling hook
+    # ------------------------------------------------------------------
+
+    def sample_protocol_peaks(self) -> None:
+        peaks = self.node.stats.peaks
+        peaks.branch_stack = max(peaks.branch_stack, self.bstack_pool.proto_peak)
+        peaks.int_regs = max(peaks.int_regs, self.rename.proto_int_peak)
+        peaks.int_queue = max(peaks.int_queue, self.iq_pool.proto_peak)
+        peaks.lsq = max(peaks.lsq, self.lsq_pool.proto_peak)

@@ -1,0 +1,20 @@
+"""The directory-based coherence protocol: ISA, handlers, semantics,
+directory layout, and the invariant checker."""
+
+from repro.protocol import extensions
+from repro.protocol.checker import CoherenceChecker
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.handlers import build_handler_table
+from repro.protocol.isa import Handler, HandlerBuilder, HandlerTable, PInstr, POp
+
+__all__ = [
+    "CoherenceChecker",
+    "DirectoryLayout",
+    "Handler",
+    "HandlerBuilder",
+    "HandlerTable",
+    "PInstr",
+    "POp",
+    "build_handler_table",
+    "extensions",
+]

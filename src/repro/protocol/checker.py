@@ -1,0 +1,117 @@
+"""Coherence invariant checker.
+
+Two kinds of checks:
+
+* **Any-time**: at most one writable (EXCLUSIVE/MODIFIED) copy of any
+  application line exists across all nodes.  Stale SHARED copies may
+  coexist with a writable copy transiently — that is the documented
+  eager-exclusive relaxation — but two writers never may.
+* **End-of-run audit**: after draining the machine and flushing every
+  cache, each home's memory version for a line must equal the total
+  number of stores ever committed to that line.  A lost update (store
+  to a stale copy, dropped writeback, misrouted transfer) breaks this
+  equality, because versions only increment on the current coherent
+  copy.
+
+Directory sanity: at quiesce every entry must be in a stable state and
+its owner/sharer information must cover every cached copy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.caches.coherence import CacheState
+from repro.common.errors import CoherenceViolation
+from repro.protocol import directory as d
+
+
+class CoherenceChecker:
+    def __init__(self) -> None:
+        self.store_counts: Dict[int, int] = defaultdict(int)
+        self.checks_run = 0
+
+    # -- hooks -------------------------------------------------------------
+    def attach(self, machine) -> None:
+        for node in machine.nodes:
+            original = node.hierarchy.on_store
+            node.hierarchy.on_store = self._make_hook(original)
+
+    def _make_hook(self, chained):
+        def hook(line_addr: int) -> None:
+            self.store_counts[line_addr] += 1
+            chained(line_addr)
+
+        return hook
+
+    # -- any-time invariant --------------------------------------------------
+    def check_single_writer(self, machine) -> None:
+        self.checks_run += 1
+        writers: Dict[int, List[int]] = defaultdict(list)
+        for node in machine.nodes:
+            for la, state in node.hierarchy.cached_app_lines().items():
+                if state in (CacheState.EXCLUSIVE, CacheState.MODIFIED):
+                    writers[la].append(node.node_id)
+        for la, nodes in writers.items():
+            if len(nodes) > 1:
+                raise CoherenceViolation(
+                    f"line {la:#x} writable at multiple nodes: {nodes}"
+                )
+
+    # -- end-of-run audit ------------------------------------------------------
+    def final_audit(self, machine) -> None:
+        """Flush all caches and verify no store was ever lost."""
+        self.check_single_writer(machine)
+        memory: Dict[int, int] = {}
+        for node in machine.nodes:
+            memory.update(node.memory_versions)
+        for node in machine.nodes:
+            node.hierarchy.flush_to_memory(
+                lambda la, v: memory.__setitem__(la, max(memory.get(la, 0), v))
+            )
+        for la, count in self.store_counts.items():
+            have = memory.get(la, 0)
+            if have != count:
+                raise CoherenceViolation(
+                    f"line {la:#x}: {count} stores committed but final "
+                    f"memory version is {have} (lost update or stale data)"
+                )
+
+    def audit_directory(self, machine) -> None:
+        """At quiesce: stable states, coverage of all cached copies."""
+        cached: Dict[int, Dict[int, CacheState]] = defaultdict(dict)
+        for node in machine.nodes:
+            for la, state in node.hierarchy.cached_app_lines().items():
+                cached[la][node.node_id] = state
+        layout = machine.layout
+        for node in machine.nodes:
+            for la in list(cached):
+                if layout.home_of(la) != node.node_id:
+                    continue
+                entry = node.pmem.get(layout.dir_entry_addr(la), 0)
+                state = d.state_of(entry)
+                if state in (d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
+                    raise CoherenceViolation(
+                        f"line {la:#x} directory busy at quiesce: "
+                        f"{d.describe(entry)}"
+                    )
+                copies = cached[la]
+                for holder, cstate in copies.items():
+                    if cstate in (CacheState.EXCLUSIVE, CacheState.MODIFIED):
+                        if state != d.EXCLUSIVE or d.owner_of(entry) != holder:
+                            raise CoherenceViolation(
+                                f"line {la:#x}: node {holder} holds "
+                                f"{cstate.name} but directory says "
+                                f"{d.describe(entry)}"
+                            )
+                    elif cstate is CacheState.SHARED:
+                        covered = (
+                            state == d.SHARED
+                            and holder in d.sharers_of(entry)
+                        ) or (state == d.EXCLUSIVE and d.owner_of(entry) == holder)
+                        if not covered:
+                            raise CoherenceViolation(
+                                f"line {la:#x}: node {holder} holds SHARED "
+                                f"but directory says {d.describe(entry)}"
+                            )

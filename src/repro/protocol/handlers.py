@@ -1,0 +1,596 @@
+"""The directory coherence protocol, written as protocol-ISA programs.
+
+This is an invalidation-based bitvector protocol derived from the SGI
+Origin 2000's, with eager-exclusive replies (paper §3): a read miss to
+an unowned line receives an exclusive (writable) copy, and a write
+miss receives its data immediately while invalidation acks are
+collected at the requester's MSHR.
+
+Handler inventory
+-----------------
+Home-side (run at the line's home node):
+
+``h_get`` / ``h_getx`` / ``h_upgrade``
+    request handlers; dispatch them for both local misses and network
+    requests.
+``h_put`` / ``h_swb`` / ``h_xfer`` / ``h_int_nack``
+    writeback and revision handlers closing three-hop transactions.
+
+Owner/sharer-side (run at the node whose cache is probed):
+
+``h_int_shared`` / ``h_int_excl`` / ``h_inval``
+    launch an L2 probe and finish; the probe reply dispatches
+``h_probe_sh_done`` / ``h_probe_ex_done`` / ``h_inval_done``
+    which forward data to the requester and revisions to the home.
+
+Requester-side (the paper's six-instruction critical handlers):
+
+``h_reply_*`` deliver replies to the MSHRs, and ``pi_fwd_*`` forward
+local misses whose home is remote.
+
+Header layout (shared with the dispatch hardware)::
+
+    bits 0-7   message type (MsgType.value)
+    bits 8-13  src node (incoming) / dest node (outgoing)
+    bits 16-21 requester node
+    bits 24-29 invalidation-ack count (outgoing replies)
+    bit 30     probe hit (probe replies)
+    bit 31     probe dirty (probe replies)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.isa import (
+    ADDR,
+    DIR_BASE,
+    ENTRY_SHIFT,
+    HDR,
+    HOME_SHIFT,
+    LINE_SHIFT,
+    LOCAL_MASK,
+    NODE_ID,
+    PROBE_DOWNGRADE,
+    PROBE_INVAL,
+    RESEND_AS_GETX,
+    RESEND_SAME,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+    T7,
+    ZERO,
+    Handler,
+    HandlerBuilder,
+    HandlerTable,
+)
+
+HDR_SRC_SHIFT = 8
+HDR_REQ_SHIFT = 16
+HDR_ACK_SHIFT = 24
+HDR_FOUND_SHIFT = 30
+HDR_DIRTY_SHIFT = 31
+NODE_FIELD_MASK = 0x3F
+
+
+def make_header(
+    mtype: MsgType,
+    peer: int,
+    requester: int,
+    acks: int = 0,
+    found: bool = False,
+    dirty: bool = False,
+) -> int:
+    """Compose a header word (Python-side mirror of the handler code)."""
+    return (
+        mtype.value
+        | (peer << HDR_SRC_SHIFT)
+        | (requester << HDR_REQ_SHIFT)
+        | (acks << HDR_ACK_SHIFT)
+        | (int(found) << HDR_FOUND_SHIFT)
+        | (int(dirty) << HDR_DIRTY_SHIFT)
+    )
+
+
+def header_type(header: int) -> int:
+    return header & 0xFF
+
+
+def header_peer(header: int) -> int:
+    return (header >> HDR_SRC_SHIFT) & NODE_FIELD_MASK
+
+
+def header_requester(header: int) -> int:
+    return (header >> HDR_REQ_SHIFT) & NODE_FIELD_MASK
+
+
+def header_acks(header: int) -> int:
+    return (header >> HDR_ACK_SHIFT) & 0x3F
+
+
+# ---------------------------------------------------------------------------
+# Builder macros
+# ---------------------------------------------------------------------------
+
+
+def dir_prologue(h: HandlerBuilder) -> None:
+    """T0 = &dir[line], T1 = entry, T2 = state, T3 = requester."""
+    h.and_(T0, ADDR, LOCAL_MASK)
+    h.srlv(T0, T0, LINE_SHIFT)
+    h.sllv(T0, T0, ENTRY_SHIFT)
+    h.add(T0, T0, DIR_BASE)
+    h.ld(T1, T0)
+    h.andi(T2, T1, d.STATE_MASK)
+    h.srli(T3, HDR, HDR_REQ_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)
+
+
+def compose_send(
+    h: HandlerBuilder,
+    mtype: MsgType,
+    dest_reg: int,
+    req_reg: int,
+    hdr_reg: int = T6,
+    tmp: int = T7,
+    acks_reg: int = None,
+) -> None:
+    """Emit header composition + sendh/senda for one outgoing message."""
+    h.li(hdr_reg, mtype.value)
+    h.slli(tmp, dest_reg, HDR_SRC_SHIFT)
+    h.or_(hdr_reg, hdr_reg, tmp)
+    h.slli(tmp, req_reg, HDR_REQ_SHIFT)
+    h.or_(hdr_reg, hdr_reg, tmp)
+    if acks_reg is not None:
+        h.slli(tmp, acks_reg, HDR_ACK_SHIFT)
+        h.or_(hdr_reg, hdr_reg, tmp)
+    h.sendh(hdr_reg)
+    h.senda(ADDR)
+
+
+def inval_loop(h: HandlerBuilder, vec_reg: int, req_reg: int) -> None:
+    """Send INVAL to every set bit of ``vec_reg`` (destroys T5/T6/T7)."""
+    h.label("inv_loop")
+    h.beqz(vec_reg, "inv_done")
+    h.ctz(T5, vec_reg)
+    compose_send(h, MsgType.INVAL, dest_reg=T5, req_reg=req_reg)
+    h.addi(T5, vec_reg, -1)
+    h.and_(vec_reg, vec_reg, T5)
+    h.j("inv_loop")
+    h.label("inv_done")
+
+
+def clear_bit(h: HandlerBuilder, vec_reg: int, bit_reg: int, tmp: int = T5) -> None:
+    h.li(tmp, 1)
+    h.sllv(tmp, tmp, bit_reg)
+    h.nor(tmp, tmp, ZERO)
+    h.and_(vec_reg, vec_reg, tmp)
+
+
+# ---------------------------------------------------------------------------
+# Home-side request handlers
+# ---------------------------------------------------------------------------
+
+
+def build_h_get() -> Handler:
+    h = HandlerBuilder("h_get")
+    dir_prologue(h)
+    h.beqz(T2, "unowned")
+    h.seqi(T4, T2, d.SHARED)
+    h.bnez(T4, "shared")
+    h.seqi(T4, T2, d.EXCLUSIVE)
+    h.bnez(T4, "exclusive")
+    # Busy: NACK the requester; it retries.
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("unowned")
+    # Eager-exclusive reply: hand out a writable copy.
+    h.slli(T4, T3, d.OWNER_SHIFT)
+    h.ori(T4, T4, d.EXCLUSIVE)
+    h.st(T4, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("shared")
+    h.addi(T4, T3, d.VECTOR_SHIFT)
+    h.li(T5, 1)
+    h.sllv(T5, T5, T4)
+    h.or_(T1, T1, T5)
+    h.st(T1, T0)
+    compose_send(h, MsgType.DATA_SHARED, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("exclusive")
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.bnez(T5, "own_req")
+    # Forward a downgrading intervention to the owner; go busy.
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_SHARED)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_SHARED, dest_reg=T4, req_reg=T3)
+    h.done()
+
+    h.label("own_req")
+    # The directory already names the requester as owner (retry after a
+    # race): just resend the data.
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def build_h_getx() -> Handler:
+    h = HandlerBuilder("h_getx")
+    dir_prologue(h)
+    h.beqz(T2, "unowned")
+    h.seqi(T4, T2, d.SHARED)
+    h.bnez(T4, "shared")
+    h.seqi(T4, T2, d.EXCLUSIVE)
+    h.bnez(T4, "exclusive")
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("unowned")
+    h.slli(T4, T3, d.OWNER_SHIFT)
+    h.ori(T4, T4, d.EXCLUSIVE)
+    h.st(T4, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("shared")
+    h.srli(T4, T1, d.VECTOR_SHIFT)  # sharer vector
+    clear_bit(h, T4, T3)  # drop the requester's own bit
+    h.popc(T1, T4)  # T1 = ack count (entry no longer needed)
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3, acks_reg=T1)
+    inval_loop(h, T4, T3)
+    h.done()
+
+    h.label("exclusive")
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.bnez(T5, "own_req")
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_EXCLUSIVE)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_EXCL, dest_reg=T4, req_reg=T3)
+    h.done()
+
+    h.label("own_req")
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def build_h_upgrade() -> Handler:
+    h = HandlerBuilder("h_upgrade")
+    dir_prologue(h)
+    h.seqi(T4, T2, d.SHARED)
+    h.beqz(T4, "fail")
+    h.srli(T4, T1, d.VECTOR_SHIFT)
+    h.srlv(T5, T4, T3)
+    h.andi(T5, T5, 1)
+    h.beqz(T5, "fail")  # requester lost its copy to a racing inval
+    clear_bit(h, T4, T3)
+    h.popc(T1, T4)
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    compose_send(h, MsgType.UPGRADE_ACK, dest_reg=T3, req_reg=T3, acks_reg=T1)
+    inval_loop(h, T4, T3)
+    h.done()
+
+    h.label("fail")
+    compose_send(h, MsgType.NACK_UPGRADE, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Home-side writeback / revision handlers
+# ---------------------------------------------------------------------------
+
+
+def build_h_put() -> Handler:
+    h = HandlerBuilder("h_put")
+    dir_prologue(h)
+    h.srli(T3, HDR, HDR_SRC_SHIFT)  # writer (src), not requester
+    h.andi(T3, T3, NODE_FIELD_MASK)
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.beqz(T5, "bad")
+    h.memwr()
+    h.seqi(T5, T2, d.EXCLUSIVE)
+    h.bnez(T5, "stable")
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "race")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.bnez(T5, "race")
+    h.label("bad")
+    h.trap(1)
+    h.done()
+
+    h.label("stable")
+    h.st(ZERO, T0)  # UNOWNED
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("race")
+    # The intervention in flight will find nothing; complete the waiter
+    # from memory right here (writeback race resolution).
+    h.srli(T5, T1, d.WAITER_SHIFT)
+    h.andi(T5, T5, d.WAITER_MASK)
+    h.slli(T6, T5, d.OWNER_SHIFT)
+    h.ori(T6, T6, d.EXCLUSIVE)
+    h.st(T6, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T5, req_reg=T5)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def build_h_swb() -> Handler:
+    h = HandlerBuilder("h_swb")
+    dir_prologue(h)
+    h.seqi(T4, T2, d.BUSY_SHARED)
+    h.beqz(T4, "bad")
+    h.srli(T4, HDR, HDR_SRC_SHIFT)  # old owner
+    h.andi(T4, T4, NODE_FIELD_MASK)
+    h.memwr()
+    # entry = SHARED | bit(old owner) | bit(requester)
+    h.addi(T5, T4, d.VECTOR_SHIFT)
+    h.li(T6, 1)
+    h.sllv(T6, T6, T5)
+    h.ori(T6, T6, d.SHARED)
+    h.addi(T5, T3, d.VECTOR_SHIFT)
+    h.li(T7, 1)
+    h.sllv(T7, T7, T5)
+    h.or_(T6, T6, T7)
+    h.st(T6, T0)
+    h.done()
+    h.label("bad")
+    h.trap(2)
+    h.done()
+    return h.build()
+
+
+def build_h_xfer() -> Handler:
+    h = HandlerBuilder("h_xfer")
+    dir_prologue(h)
+    h.seqi(T4, T2, d.BUSY_EXCLUSIVE)
+    h.beqz(T4, "bad")
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    h.done()
+    h.label("bad")
+    h.trap(3)
+    h.done()
+    return h.build()
+
+
+def build_h_int_nack() -> Handler:
+    # A probed node had already written the line back; the PUT racing
+    # through VN2 resolves the transaction, so the NACK is dropped.
+    h = HandlerBuilder("h_int_nack")
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Probed-node handlers
+# ---------------------------------------------------------------------------
+
+
+def build_h_int_shared() -> Handler:
+    h = HandlerBuilder("h_int_shared")
+    h.probe(ADDR, PROBE_DOWNGRADE)
+    h.done()
+    return h.build()
+
+
+def build_h_int_excl() -> Handler:
+    h = HandlerBuilder("h_int_excl")
+    h.probe(ADDR, PROBE_INVAL)
+    h.done()
+    return h.build()
+
+
+def build_h_inval() -> Handler:
+    h = HandlerBuilder("h_inval")
+    h.probe(ADDR, PROBE_INVAL)
+    h.done()
+    return h.build()
+
+
+def _probe_done(name: str, data_type: MsgType, revision: MsgType) -> Handler:
+    h = HandlerBuilder(name)
+    h.srli(T3, HDR, HDR_REQ_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)  # requester
+    h.srli(T4, HDR, HDR_SRC_SHIFT)
+    h.andi(T4, T4, NODE_FIELD_MASK)  # home
+    h.srli(T5, HDR, HDR_FOUND_SHIFT)
+    h.andi(T5, T5, 1)
+    h.beqz(T5, "miss")
+    compose_send(h, data_type, dest_reg=T3, req_reg=T3)
+    compose_send(h, revision, dest_reg=T4, req_reg=T3)
+    h.done()
+    h.label("miss")
+    compose_send(h, MsgType.INT_NACK, dest_reg=T4, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def build_h_probe_sh_done() -> Handler:
+    return _probe_done("h_probe_sh_done", MsgType.DATA_SHARED, MsgType.SWB)
+
+
+def build_h_probe_ex_done() -> Handler:
+    return _probe_done("h_probe_ex_done", MsgType.DATA_EXCL, MsgType.XFER)
+
+
+def build_h_inval_done() -> Handler:
+    h = HandlerBuilder("h_inval_done")
+    h.srli(T3, HDR, HDR_REQ_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)
+    compose_send(h, MsgType.INV_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Requester-side reply handlers (the short critical handlers)
+# ---------------------------------------------------------------------------
+
+
+def _reply(name: str) -> Handler:
+    h = HandlerBuilder(name)
+    h.complete()
+    h.done()
+    return h.build()
+
+
+def build_h_reply_wb_ack() -> Handler:
+    h = HandlerBuilder("h_reply_wb_ack")
+    h.done()
+    return h.build()
+
+
+def _nack_reply(name: str, mode: int) -> Handler:
+    h = HandlerBuilder(name)
+    h.resend(mode)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Local-miss forwarding (remote home)
+# ---------------------------------------------------------------------------
+
+
+def _pi_fwd(name: str, mtype: MsgType) -> Handler:
+    h = HandlerBuilder(name)
+    h.srlv(T3, ADDR, HOME_SHIFT)
+    h.li(T4, mtype.value)
+    h.slli(T5, T3, HDR_SRC_SHIFT)
+    h.or_(T4, T4, T5)
+    h.slli(T5, NODE_ID, HDR_REQ_SHIFT)
+    h.or_(T4, T4, T5)
+    h.sendh(T4)
+    h.senda(ADDR)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Assembly of the full table
+# ---------------------------------------------------------------------------
+
+
+def build_handler_table() -> HandlerTable:
+    """Assemble every handler at its protocol-code-space PC."""
+    table = HandlerTable(code_base=d.CODE_BASE)
+    for handler in (
+        build_h_get(),
+        build_h_getx(),
+        build_h_upgrade(),
+        build_h_put(),
+        build_h_swb(),
+        build_h_xfer(),
+        build_h_int_nack(),
+        build_h_int_shared(),
+        build_h_int_excl(),
+        build_h_inval(),
+        build_h_probe_sh_done(),
+        build_h_probe_ex_done(),
+        build_h_inval_done(),
+        _reply("h_reply_data_sh"),
+        _reply("h_reply_data_ex"),
+        _reply("h_reply_upgrade_ack"),
+        _reply("h_reply_inv_ack"),
+        build_h_reply_wb_ack(),
+        _nack_reply("h_reply_nack", RESEND_SAME),
+        _nack_reply("h_reply_nack_upgrade", RESEND_AS_GETX),
+        _pi_fwd("pi_fwd_get", MsgType.GET),
+        _pi_fwd("pi_fwd_getx", MsgType.GETX),
+        _pi_fwd("pi_fwd_upgrade", MsgType.UPGRADE),
+    ):
+        table.place(handler)
+    return table
+
+
+#: Dispatch map: incoming network message type -> home/probed handler.
+NETWORK_DISPATCH = {
+    MsgType.GET: "h_get",
+    MsgType.GETX: "h_getx",
+    MsgType.UPGRADE: "h_upgrade",
+    MsgType.PUT: "h_put",
+    MsgType.SWB: "h_swb",
+    MsgType.XFER: "h_xfer",
+    MsgType.INT_NACK: "h_int_nack",
+    MsgType.INT_SHARED: "h_int_shared",
+    MsgType.INT_EXCL: "h_int_excl",
+    MsgType.INVAL: "h_inval",
+    MsgType.DATA_SHARED: "h_reply_data_sh",
+    MsgType.DATA_EXCL: "h_reply_data_ex",
+    MsgType.UPGRADE_ACK: "h_reply_upgrade_ack",
+    MsgType.INV_ACK: "h_reply_inv_ack",
+    MsgType.WB_ACK: "h_reply_wb_ack",
+    MsgType.NACK: "h_reply_nack",
+    MsgType.NACK_UPGRADE: "h_reply_nack_upgrade",
+}
+
+#: Dispatch map for local misses whose home is this node.
+LOCAL_HOME_DISPATCH = {
+    MsgType.GET: "h_get",
+    MsgType.GETX: "h_getx",
+    MsgType.UPGRADE: "h_upgrade",
+    MsgType.PUT: "h_put",
+}
+
+#: Dispatch map for local misses whose home is remote.
+LOCAL_REMOTE_DISPATCH = {
+    MsgType.GET: "pi_fwd_get",
+    MsgType.GETX: "pi_fwd_getx",
+    MsgType.UPGRADE: "pi_fwd_upgrade",
+}
+
+#: Probe-reply dispatch, keyed by the original intervention type.
+PROBE_DISPATCH = {
+    MsgType.INT_SHARED: "h_probe_sh_done",
+    MsgType.INT_EXCL: "h_probe_ex_done",
+    MsgType.INVAL: "h_inval_done",
+}
+
+
+def boot_registers(layout: DirectoryLayout, node_id: int) -> List[int]:
+    """Initial values of all 32 protocol registers (the boot sequence).
+
+    Every logical register is initialized so it stays mapped for the
+    lifetime of the machine (paper §2.2's single-reserved-register
+    argument relies on this).
+    """
+    regs = [0] * 32
+    regs[HOME_SHIFT] = layout.home_shift
+    regs[ENTRY_SHIFT] = layout.entry_shift
+    regs[LOCAL_MASK] = layout.local_mask
+    regs[NODE_ID] = node_id
+    regs[DIR_BASE] = layout.dir_base
+    regs[LINE_SHIFT] = layout.line_shift
+    return regs

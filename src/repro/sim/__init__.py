@@ -1,0 +1,16 @@
+"""Experiment harness: driver, presets, report rendering."""
+
+from repro.sim.driver import build_machine, run_app, run_machine
+from repro.sim.experiments import APPS, PAPER_SIZES, PRESETS, preset_sizes
+from repro.sim.trace import ProtocolTracer
+
+__all__ = [
+    "APPS",
+    "PAPER_SIZES",
+    "PRESETS",
+    "ProtocolTracer",
+    "build_machine",
+    "preset_sizes",
+    "run_app",
+    "run_machine",
+]

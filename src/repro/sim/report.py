@@ -1,0 +1,120 @@
+"""Paper-style table and figure rendering.
+
+Each experiment produces a dict of results; these helpers print rows
+the way the paper's tables/figures read, so a benchmark run can be
+compared against the published numbers side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.stats import MachineStats
+
+MODEL_LABELS = {
+    "base": "Base",
+    "intperfect": "IntPerfect",
+    "int512kb": "Int512KB",
+    "int64kb": "Int64KB",
+    "smtp": "SMTp",
+}
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def speedup_table(results: Dict[str, Dict[int, float]], ways: Sequence[int]) -> str:
+    """Tables 5/6: rows = applications, columns = n-way speedups."""
+    headers = ["Application"] + [f"{w}-way" for w in ways]
+    rows = []
+    for app, per_way in results.items():
+        rows.append([app] + [f"{per_way[w]:.2f}" for w in ways])
+    return format_table(headers, rows)
+
+
+def normalized_exec_table(
+    results: Dict[str, Dict[str, MachineStats]], models: Sequence[str]
+) -> str:
+    """Figures 2-11: normalized execution time + memory-stall split.
+
+    Each cell shows ``total (memory-stall fraction)`` normalized to the
+    Base model of the same application — the textual equivalent of the
+    paper's stacked bars.
+    """
+    headers = ["Application"] + [MODEL_LABELS.get(m, m) for m in models]
+    rows = []
+    for app, per_model in results.items():
+        base_cycles = per_model[models[0]].cycles
+        cells = [app]
+        for m in models:
+            st = per_model[m]
+            norm = st.cycles / base_cycles
+            cells.append(f"{norm:.3f} (mem {st.memory_stall_fraction:.2f})")
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
+def occupancy_table(results: Dict[str, Dict[str, MachineStats]],
+                    models: Sequence[str]) -> str:
+    """Table 7: peak protocol occupancy percentage per model."""
+    headers = ["App."] + [MODEL_LABELS.get(m, m) for m in models]
+    rows = []
+    for app, per_model in results.items():
+        rows.append(
+            [app]
+            + [f"{100 * per_model[m].protocol_occupancy_peak():.1f}%" for m in models]
+        )
+    return format_table(headers, rows)
+
+
+def protocol_thread_table(results: Dict[str, MachineStats]) -> str:
+    """Table 8: protocol-thread characteristics under SMTp."""
+    headers = ["App.", "Br.Mis. Rate", "Squash %", "Retired Ins."]
+    rows = []
+    for app, st in results.items():
+        rows.append(
+            [
+                app,
+                f"{100 * st.protocol_branch_mispredict_rate():.2f}%",
+                f"{100 * st.protocol_squash_cycle_fraction():.2f}%",
+                f"{100 * st.retired_protocol_share():.2f}% of all",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def resource_occupancy_table(results: Dict[str, MachineStats]) -> str:
+    """Table 9: peak active protocol-thread resource occupancy."""
+    headers = ["App.", "Br. Stack", "Int. Regs", "IQ", "LSQ"]
+    rows = []
+    for app, st in results.items():
+        peaks = st.resource_peaks()
+        cells = [app]
+        for key in ("branch_stack", "int_regs", "int_queue", "lsq"):
+            mx, mean = peaks[key]
+            cells.append(f"{mx}, {mean:.0f}")
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
+def summarize(st: MachineStats) -> str:
+    """One-paragraph run summary used by examples."""
+    lines = [
+        f"model={st.model} nodes={st.n_nodes} ways={st.ways} "
+        f"freq={st.freq_ghz:g}GHz",
+        f"cycles={st.cycles}  exec={st.exec_seconds * 1e6:.1f}us  "
+        f"committed={st.committed}",
+        f"memory-stall fraction={st.memory_stall_fraction:.3f}  "
+        f"protocol occupancy (peak node)={100 * st.protocol_occupancy_peak():.1f}%",
+    ]
+    return "\n".join(lines)

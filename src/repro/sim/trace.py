@@ -1,0 +1,137 @@
+"""Protocol event tracing — the debugging tool for coherence work.
+
+Attach a :class:`ProtocolTracer` to a machine (before running) and it
+records a timeline of coherence events, optionally filtered to one
+cache line: handler dispatches, outgoing messages, refills, probes and
+writebacks, each tagged with cycle and node. The textual timeline
+reads like the protocol walkthroughs in DSM papers::
+
+    tracer = ProtocolTracer(machine, line=0x2000)
+    ... run ...
+    print(tracer.render())
+
+Tracing wraps the memory controllers' dispatch/send paths; overhead is
+one Python call per event, so keep it out of benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.network.messages import Message
+
+
+@dataclass
+class TraceEvent:
+    cycle: int
+    node: int
+    kind: str  # dispatch | send | refill | probe | writeback
+    detail: str
+    addr: int
+
+    def render(self) -> str:
+        return (
+            f"{self.cycle:>10d}  node {self.node}  {self.kind:<9s} "
+            f"{self.addr:#012x}  {self.detail}"
+        )
+
+
+class ProtocolTracer:
+    def __init__(self, machine, line: Optional[int] = None,
+                 max_events: int = 100_000) -> None:
+        self.machine = machine
+        self.line_mask = ~(machine.mp.line_bytes - 1)
+        self.line = line & self.line_mask if line is not None else None
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        for node in machine.nodes:
+            self._wrap(node)
+
+    # ------------------------------------------------------------------
+    def _interesting(self, addr: int) -> bool:
+        if len(self.events) >= self.max_events:
+            return False
+        return self.line is None or (addr & self.line_mask) == self.line
+
+    def _record(self, node: int, kind: str, addr: int, detail: str) -> None:
+        self.events.append(
+            TraceEvent(self.machine.cycle, node, kind, detail, addr)
+        )
+
+    def _wrap(self, node) -> None:
+        mc = node.mc
+        nid = node.node_id
+
+        orig_dispatch = mc._dispatch
+
+        def dispatch(msg: Message):
+            if self._interesting(msg.addr):
+                self._record(
+                    nid, "dispatch", msg.addr,
+                    f"{msg.mtype.name} src={msg.src} req={msg.requester} "
+                    f"v{msg.version}",
+                )
+            return orig_dispatch(msg)
+
+        mc._dispatch = dispatch
+
+        orig_send = mc.send_to_network
+
+        def send(msg: Message):
+            if self._interesting(msg.addr):
+                self._record(
+                    nid, "send", msg.addr,
+                    f"{msg.mtype.name} -> node {msg.dest} v{msg.version}"
+                    f"{' dirty' if msg.dirty else ''}"
+                    f"{f' acks={msg.acks}' if msg.acks else ''}",
+                )
+            return orig_send(msg)
+
+        mc.send_to_network = send
+
+        h = node.hierarchy
+        orig_refill = h.refill
+
+        def refill(line_addr, writable, version, acks=0, dirty=False):
+            if self._interesting(line_addr):
+                self._record(
+                    nid, "refill", line_addr,
+                    f"{'writable' if writable else 'shared'} v{version}"
+                    f"{f' acks={acks}' if acks else ''}",
+                )
+            return orig_refill(line_addr, writable, version, acks, dirty)
+
+        h.refill = refill
+
+        orig_probe = h.probe
+
+        def probe(line_addr, kind, on_response):
+            if self._interesting(line_addr):
+                self._record(nid, "probe", line_addr, kind)
+            return orig_probe(line_addr, kind, on_response)
+
+        h.probe = probe
+
+        orig_wb = mc.writeback
+
+        def writeback(line_addr, version, dirty):
+            if self._interesting(line_addr):
+                self._record(
+                    nid, "writeback", line_addr,
+                    f"v{version}{' dirty' if dirty else ' clean'}",
+                )
+            return orig_wb(line_addr, version, dirty)
+
+        mc.writeback = writeback
+
+    # ------------------------------------------------------------------
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[-limit:]
+        header = f"{'cycle':>10s}  {'where':8s} {'event':9s} {'line':12s}  detail"
+        return "\n".join([header] + [e.render() for e in events])
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)

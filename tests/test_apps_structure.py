@@ -1,0 +1,81 @@
+"""Structural signatures of the workloads, checked by draining the
+thread programs up to their first synchronization point (full-run
+behaviour is covered by test_apps.py on live machines)."""
+
+import pytest
+
+from repro.isa.uop import UopKind
+from repro.sim.driver import build_machine
+from repro.sim.experiments import app_sources
+
+pytestmark = pytest.mark.slow
+
+
+def count_uops(app, n_nodes=2, ways=1, **params):
+    """Count µops each program emits before it first blocks on sync."""
+    machine = build_machine("base", n_nodes, ways)
+    sources = app_sources(app, machine, params)
+    counts = {"load": 0, "store": 0, "prefetch": 0, "branch": 0, "fp": 0,
+              "atomic": 0, "total": 0}
+    for per_node in sources:
+        for prog in per_node:
+            for _ in range(500_000):
+                u = prog.next_uop()
+                if u is None:
+                    break
+                counts["total"] += 1
+                if u.kind is UopKind.LOAD:
+                    counts["load"] += 1
+                elif u.kind is UopKind.STORE:
+                    counts["store"] += 1
+                elif u.kind is UopKind.PREFETCH:
+                    counts["prefetch"] += 1
+                elif u.kind in (UopKind.BRANCH, UopKind.CALL, UopKind.RETURN):
+                    counts["branch"] += 1
+                elif u.kind in (UopKind.FALU, UopKind.FDIV):
+                    counts["fp"] += 1
+                elif u.kind is UopKind.ATOMIC:
+                    counts["atomic"] += 1
+    return counts
+
+
+class TestSignatures:
+    def test_fft_is_fp_heavy_with_prefetch(self):
+        # Thread 0 reaches its row FFTs and transpose before blocking.
+        c = count_uops("fft", n_nodes=1, points=256, block=4)
+        assert c["fp"] > c["total"] * 0.3
+        assert c["prefetch"] > 0
+
+    def test_radix_is_integer_only(self):
+        c = count_uops("radix", n_nodes=1, keys=512, radix=16)
+        assert c["fp"] == 0
+        assert c["load"] > 0 and c["store"] > 0
+
+    def test_water_fp_dominates_memory(self):
+        c = count_uops("water", n_nodes=1, molecules=8, steps=1)
+        assert c["fp"] > c["load"] * 2
+
+    def test_lu_fp_at_least_matches_loads(self):
+        c = count_uops("lu", n_nodes=1, n=32, block=8)
+        assert c["fp"] >= c["load"] * 0.6
+
+    def test_ocean_stencil_load_store_ratio(self):
+        c = count_uops("ocean", n_nodes=1, grid=18, iters=1)
+        assert 3.0 < c["load"] / max(1, c["store"]) < 8.0
+
+
+class TestPlacement:
+    def test_one_program_per_context(self):
+        machine = build_machine("base", 4, 2)
+        sources = app_sources("fft", machine, dict(points=256, block=4))
+        assert [len(s) for s in sources] == [2, 2, 2, 2]
+
+    def test_uneven_thread_counts_supported(self):
+        machine = build_machine("base", 8, 1)
+        sources = app_sources("ocean", machine, dict(grid=18, iters=1))
+        assert len(sources) == 8
+
+    def test_more_threads_than_rows_supported(self):
+        machine = build_machine("base", 16, 2)  # 32 threads, 16 rows
+        sources = app_sources("ocean", machine, dict(grid=18, iters=1))
+        assert sum(len(s) for s in sources) == 32

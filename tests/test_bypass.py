@@ -1,0 +1,65 @@
+"""Bypass buffers: fully-associative LRU, protocol-only line storage."""
+
+from hypothesis import given, strategies as st
+
+from repro.caches.bypass import BypassBuffer
+
+
+def make():
+    return BypassBuffer("t", n_lines=4, line_bytes=128)
+
+
+class TestBypass:
+    def test_miss_then_hit(self):
+        b = make()
+        assert b.lookup(0x100) is None
+        b.install(0x100, version=2)
+        assert b.lookup(0x100) == 2
+        assert b.lookup(0x17F) == 2  # same line
+        assert b.lookup(0x180) is None
+
+    def test_lru_eviction_returns_victim(self):
+        b = make()
+        for i in range(4):
+            b.install(i * 128, version=i)
+        b.lookup(0)  # make line 0 MRU
+        evicted = b.install(4 * 128, version=9)
+        assert evicted is not None
+        assert evicted[0] == 1 * 128  # LRU victim
+
+    def test_install_existing_updates_in_place(self):
+        b = make()
+        b.install(0x100, version=1)
+        assert b.install(0x100, version=5) is None
+        assert b.lookup(0x100) == 5
+        assert len(b) == 1
+
+    def test_write_present_line(self):
+        b = make()
+        b.install(0x100, version=1)
+        assert b.write(0x108, 7)
+        assert b.lookup(0x100) == 7
+
+    def test_write_absent_returns_false(self):
+        assert not make().write(0x100, 1)
+
+    def test_evict_returns_dirty_state(self):
+        b = make()
+        b.install(0x100, version=3, dirty=True)
+        assert b.evict(0x100) == (3, True)
+        assert b.evict(0x100) is None
+
+    def test_drain_empties(self):
+        b = make()
+        b.install(0x100, 1)
+        b.install(0x200, 2, dirty=True)
+        out = b.drain()
+        assert out == {0x100: (1, False), 0x200: (2, True)}
+        assert len(b) == 0
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_capacity_bound(self, lines):
+        b = make()
+        for l in lines:
+            b.install(l * 128, version=l)
+            assert len(b) <= 4

@@ -1,0 +1,68 @@
+"""The coherence checker itself: it must actually catch violations."""
+
+import pytest
+
+from repro.caches.coherence import CacheState
+from repro.common.errors import CoherenceViolation
+from repro.protocol import directory as d
+from tests.conftest import Completion, small_machine
+
+
+class TestCheckerCatchesBugs:
+    def test_detects_double_writer(self, machine2):
+        m = machine2
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+        m.quiesce()
+        # Forge a second writable copy behind the protocol's back.
+        m.nodes[1].hierarchy.l2.install(0x1000, CacheState.MODIFIED, version=1)
+        with pytest.raises(CoherenceViolation, match="multiple nodes"):
+            m.checker.check_single_writer(m)
+
+    def test_detects_lost_update(self, machine2):
+        m = machine2
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+        m.quiesce()
+        # Destroy the dirty copy without a writeback.
+        m.nodes[0].hierarchy.l2.invalidate(0x1000)
+        with pytest.raises(CoherenceViolation, match="lost update|stores committed"):
+            m.checker.final_audit(m)
+
+    def test_detects_uncovered_copy(self, machine2):
+        m = machine2
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
+        m.quiesce()
+        # Corrupt the directory: claim the line is unowned.
+        entry_addr = m.layout.dir_entry_addr(0x1000)
+        m.nodes[0].pmem[entry_addr] = d.encode(d.UNOWNED)
+        with pytest.raises(CoherenceViolation):
+            m.checker.audit_directory(m)
+
+    def test_detects_busy_at_quiesce(self, machine2):
+        m = machine2
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
+        m.quiesce()
+        entry_addr = m.layout.dir_entry_addr(0x1000)
+        m.nodes[0].pmem[entry_addr] = d.encode(d.BUSY_SHARED, owner=0, waiter=1)
+        with pytest.raises(CoherenceViolation, match="busy"):
+            m.checker.audit_directory(m)
+
+    def test_clean_run_passes(self, machine2):
+        m = machine2
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+        m.quiesce()
+        m.nodes[1].hierarchy.load(0x1000, False, done.cb("b"))
+        m.quiesce()
+        m.final_checks()
+
+    def test_store_counting_hook(self, machine2):
+        m = machine2
+        done = Completion(m)
+        for i in range(3):
+            m.nodes[0].hierarchy.store(0x1000 + 8 * i, False, i, done.cb(str(i)))
+            m.quiesce()
+        assert m.checker.store_counts[0x1000] == 3

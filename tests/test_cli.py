@@ -1,0 +1,42 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_models_lists_all_five(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for model in ("base", "intperfect", "int512kb", "int64kb", "smtp"):
+            assert model in out
+
+    def test_apps_lists_presets(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "water" in out and "molecules" in out
+
+    def test_handlers_table(self, capsys):
+        assert main(["handlers"]) == 0
+        out = capsys.readouterr().out
+        assert "h_get" in out and "h_am_op" in out
+
+    def test_handlers_disassembly(self, capsys):
+        assert main(["handlers", "--name", "h_getx"]) == 0
+        out = capsys.readouterr().out
+        assert "SENDH" in out and "POPC" in out
+
+    @pytest.mark.slow
+    def test_run_water_tiny(self, capsys):
+        rc = main(
+            ["run", "water", "--model", "base", "--nodes", "1",
+             "--preset", "tiny", "--check", "-v"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles=" in out and "protocol" in out
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linpack"])

@@ -1,0 +1,112 @@
+"""Directory entry encoding and the protocol address-space layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.protocol import directory as d
+from repro.protocol.directory import DirectoryLayout
+
+
+class TestEncoding:
+    def test_roundtrip_fields(self):
+        e = d.encode(d.BUSY_SHARED, owner=13, waiter=7, vector=0b1011)
+        assert d.state_of(e) == d.BUSY_SHARED
+        assert d.owner_of(e) == 13
+        assert d.waiter_of(e) == 7
+        assert d.vector_of(e) == 0b1011
+
+    def test_sharers_list(self):
+        e = d.encode(d.SHARED, vector=(1 << 0) | (1 << 5) | (1 << 31))
+        assert d.sharers_of(e) == [0, 5, 31]
+
+    def test_unowned_is_zero(self):
+        assert d.encode(d.UNOWNED) == 0
+
+    def test_describe_readable(self):
+        e = d.encode(d.EXCLUSIVE, owner=3)
+        assert "EXCLUSIVE" in d.describe(e)
+        assert "owner=3" in d.describe(e)
+
+    @given(
+        st.sampled_from([d.UNOWNED, d.SHARED, d.EXCLUSIVE, d.BUSY_SHARED,
+                         d.BUSY_EXCLUSIVE]),
+        st.integers(0, 63),
+        st.integers(0, 63),
+        st.integers(0, (1 << 32) - 1),
+    )
+    def test_roundtrip_property(self, state, owner, waiter, vector):
+        e = d.encode(state, owner, waiter, vector)
+        assert d.state_of(e) == state
+        assert d.owner_of(e) == owner
+        assert d.waiter_of(e) == waiter
+        assert d.vector_of(e) == vector
+
+    def test_32_node_entry_fits_64_bits(self):
+        e = d.encode(d.SHARED, vector=(1 << 32) - 1)
+        assert e < (1 << 64)
+
+    def test_16_node_entry_fits_32_bits(self):
+        e = d.encode(d.SHARED, owner=15, vector=(1 << 16) - 1)
+        assert e < (1 << 32)
+
+
+class TestLayout:
+    def layout(self, mem=1 << 22, entry=4):
+        return DirectoryLayout(
+            local_memory_bytes=mem, line_bytes=128, entry_bytes=entry
+        )
+
+    def test_home_partitioning(self):
+        lay = self.layout()
+        assert lay.home_of(0) == 0
+        assert lay.home_of((1 << 22) - 1) == 0
+        assert lay.home_of(1 << 22) == 1
+        assert lay.home_of(5 << 22) == 5
+
+    def test_line_addr(self):
+        lay = self.layout()
+        assert lay.line_addr(0x1234) == 0x1200
+        assert lay.line_addr(0x1280) == 0x1280
+
+    def test_dir_entry_addresses_unique_per_line(self):
+        lay = self.layout()
+        a = lay.dir_entry_addr(0x0000)
+        b = lay.dir_entry_addr(0x0080)
+        assert b - a == 4
+
+    def test_dir_entry_in_protocol_space(self):
+        from repro.caches.hierarchy import is_protocol_space
+
+        lay = self.layout()
+        assert is_protocol_space(lay.dir_entry_addr(0x1000))
+
+    def test_dir_entry_local_only(self):
+        # Entries for lines homed at different nodes use the same
+        # node-local offsets (protocol space is per node).
+        lay = self.layout()
+        assert lay.dir_entry_addr(0x80) == lay.dir_entry_addr((1 << 22) + 0x80)
+
+    def test_8_byte_entries(self):
+        lay = self.layout(entry=8)
+        a = lay.dir_entry_addr(0x0000)
+        b = lay.dir_entry_addr(0x0080)
+        assert b - a == 8
+
+    def test_rejects_bad_entry_size(self):
+        with pytest.raises(ConfigError):
+            self.layout(entry=6)
+
+    def test_rejects_non_pow2_memory(self):
+        with pytest.raises(ConfigError):
+            self.layout(mem=3 << 20)
+
+    def test_for_machine_uses_directory_bits(self):
+        from repro.common.params import MachineParams, ProcessorParams
+
+        mp = MachineParams(
+            model="base", n_nodes=32, proc=ProcessorParams(),
+            protocol_engine="pp", dir_cache=1024,
+        )
+        lay = DirectoryLayout.for_machine(mp)
+        assert lay.entry_bytes == 8

@@ -1,0 +1,106 @@
+"""Driver API, paper-exact configuration, and failure injection."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.core.models import paper_exact_params
+from repro.core.machine import Machine
+from repro.sim.driver import build_machine, run_app, run_machine
+from tests.conftest import Completion, small_machine
+
+pytestmark = pytest.mark.slow
+
+
+class TestDriver:
+    def test_run_app_returns_stats(self):
+        st = run_app("water", "base", n_nodes=1, ways=1, preset="tiny")
+        assert st.model == "base"
+        assert st.cycles > 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            run_app("linpack", "base", preset="tiny")
+
+    def test_timeout_raises_with_report(self):
+        m = build_machine("base", 1, 1)
+        from repro.apps.program import KernelBuilder, ThreadProgram
+
+        def endless(k):
+            top = k.here()
+            i = 0
+            while True:
+                k.set_pc(top)
+                k.alu()
+                k.branch(True, top)
+                yield
+                i += 1
+
+        prog = ThreadProgram(endless, KernelBuilder(0, 0x400000), m.wheel)
+        with pytest.raises(SimulationError, match="did not finish"):
+            run_machine(m, [[prog]], max_cycles=2_000)
+
+    def test_model_kwargs_flow_through(self):
+        st = run_app("water", "smtp", n_nodes=1, ways=1, preset="tiny",
+                     look_ahead_scheduling=False)
+        assert st.cycles > 0
+
+
+class TestPaperExact:
+    def test_paper_exact_machine_runs(self):
+        """The unscaled Table 2/3/4 configuration is usable (slow, but
+        functional) — here with a tiny workload."""
+        mp = paper_exact_params("smtp", n_nodes=2, ways=1)
+        m = Machine(mp)
+        from repro.sim.experiments import app_sources, preset_sizes
+
+        sources = app_sources("water", m, dict(preset_sizes("water", "tiny")))
+        st = run_machine(m, sources, max_cycles=10_000_000)
+        assert st.cycles > 0
+        # Full-size caches: the tiny working set has no capacity misses.
+        assert st.nodes[0].l2.misses < 500
+
+
+class TestFailureInjection:
+    def test_dropped_reply_hits_watchdog(self):
+        """If the network silently eats a data reply, the machine must
+        report a deadlock with a useful dump rather than hang."""
+        m = small_machine("base", n_nodes=2, watchdog_cycles=3_000)
+        # Sabotage: node 1's NI drops everything (claims delivery).
+        m.fabric.attach(1, lambda msg: True)
+        done = Completion(m)
+        m.nodes[1].hierarchy.load(0x80, False, done.cb("never"))
+        with pytest.raises(DeadlockError) as err:
+            for _ in range(200_000):
+                m.step()
+        assert "mshrs=1" in str(err.value)
+
+    def test_stalled_engine_hits_watchdog(self):
+        m = small_machine("base", n_nodes=1, watchdog_cycles=3_000)
+        m.nodes[0].mc.engine = None  # controller with no protocol engine
+        m.nodes[0].hierarchy.load(0x80, False, lambda v: None)
+        with pytest.raises(DeadlockError):
+            for _ in range(200_000):
+                m.step()
+
+    def test_corrupted_directory_traps(self):
+        """A nonsense directory state must abort with ProtocolError,
+        not corrupt data silently."""
+        from repro.common.errors import ProtocolError
+        from repro.protocol import directory as d
+
+        m = small_machine("base", n_nodes=1)
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("w"))
+        m.quiesce()
+        # Claim an impossible owner, then force a writeback race.
+        entry_addr = m.layout.dir_entry_addr(0x1000)
+        m.nodes[0].pmem[entry_addr] = d.encode(d.EXCLUSIVE, owner=55)
+        n_sets = m.nodes[0].hierarchy.l2.params.n_sets
+        line = m.nodes[0].hierarchy.l2.params.line_bytes
+        with pytest.raises(ProtocolError):
+            # Evict the dirty line -> PUT -> owner mismatch -> TRAP.
+            for i in range(1, 10):
+                m.nodes[0].hierarchy.store(
+                    0x1000 + i * n_sets * line, False, i, done.cb(str(i))
+                )
+                m.quiesce()

@@ -1,0 +1,74 @@
+"""EventWheel ordering and scheduling semantics."""
+
+import pytest
+
+from repro.common.events import EventWheel
+
+
+class TestEventWheel:
+    def test_fires_at_cycle(self):
+        w = EventWheel()
+        fired = []
+        w.schedule_at(5, lambda: fired.append("a"))
+        assert w.tick(4) == 0
+        assert w.tick(5) == 1
+        assert fired == ["a"]
+
+    def test_relative_schedule(self):
+        w = EventWheel()
+        w.tick(10)
+        fired = []
+        w.schedule(3, lambda: fired.append(1))
+        w.tick(12)
+        assert not fired
+        w.tick(13)
+        assert fired == [1]
+
+    def test_same_cycle_insertion_order(self):
+        w = EventWheel()
+        fired = []
+        for i in range(5):
+            w.schedule_at(2, lambda i=i: fired.append(i))
+        w.tick(2)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_past_schedule_raises(self):
+        w = EventWheel()
+        w.tick(10)
+        with pytest.raises(ValueError):
+            w.schedule_at(5, lambda: None)
+
+    def test_zero_delay_clamps_to_now(self):
+        w = EventWheel()
+        w.tick(7)
+        fired = []
+        w.schedule(0, lambda: fired.append(1))
+        w.tick(7)
+        assert fired == [1]
+
+    def test_event_scheduling_event(self):
+        w = EventWheel()
+        fired = []
+
+        def first():
+            fired.append("first")
+            w.schedule(0, lambda: fired.append("second"))
+
+        w.schedule_at(1, first)
+        w.tick(1)
+        assert fired == ["first", "second"]
+
+    def test_next_event_cycle(self):
+        w = EventWheel()
+        assert w.next_event_cycle() == -1
+        w.schedule_at(9, lambda: None)
+        w.schedule_at(4, lambda: None)
+        assert w.next_event_cycle() == 4
+
+    def test_len_counts_pending(self):
+        w = EventWheel()
+        w.schedule_at(1, lambda: None)
+        w.schedule_at(2, lambda: None)
+        assert len(w) == 2
+        w.tick(1)
+        assert len(w) == 1

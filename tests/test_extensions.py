@@ -1,0 +1,98 @@
+"""The active-memory protocol extension (repro.protocol.extensions):
+remote fetch-and-op executed by the home's protocol engine."""
+
+import pytest
+
+from repro.apps.base import AppContext
+from repro.apps.program import AWAIT
+from repro.protocol.extensions import AM_FAI, AM_SWAP, AM_TAS, apply_am_op
+from repro.sim.driver import run_machine
+from tests.conftest import small_machine
+
+pytestmark = pytest.mark.slow
+
+
+class TestSemantics:
+    def test_op_table(self):
+        assert apply_am_op(AM_FAI, 5, 3) == 8
+        assert apply_am_op(AM_SWAP, 5, 3) == 3
+        assert apply_am_op(AM_TAS, 0, 0) == 1
+        with pytest.raises(ValueError):
+            apply_am_op(99, 0, 0)
+
+    def test_handlers_installed(self):
+        m = small_machine("base", n_nodes=2)
+        assert "h_am_op" in m.handler_table
+        assert "h_am_reply" in m.handler_table
+
+
+def run_counter_kernel(model, n_nodes, ways, increments, op="am_fai"):
+    m = small_machine(model, n_nodes=n_nodes, ways=ways)
+    ctx = AppContext(m)
+    counter = ctx.space.alloc(0, 128)
+    returns = []
+
+    def body(k, g):
+        for _ in range(increments):
+            k.atomic(counter, op, 1)
+            old = yield AWAIT
+            returns.append(old)
+        yield from ctx.barrier.wait(k, g)
+
+    st = run_machine(m, ctx.build_sources(body), max_cycles=3_000_000)
+    return m, st, counter, returns
+
+
+class TestRemoteFetchAndOp:
+    @pytest.mark.parametrize("model", ["base", "smtp"])
+    def test_fai_counts_exactly(self, model):
+        m, st, counter, returns = run_counter_kernel(model, 2, 2, increments=4)
+        assert m.words[counter] == 4 * 4
+        # fetch-and-add returns every intermediate value exactly once.
+        assert sorted(returns) == list(range(16))
+
+    def test_am_handlers_run_at_home(self):
+        m, st, counter, _ = run_counter_kernel("smtp", 2, 1, increments=3)
+        home = m.layout.home_of(counter)
+        assert m.nodes[home].stats.protocol.handlers_by_type["h_am_op"] == 6
+        # Requesters run the reply handler for their own ops.
+        assert "h_am_reply" in m.nodes[1].stats.protocol.handlers_by_type
+
+    def test_no_line_movement(self):
+        """The counter line never enters any cache — that is the whole
+        point of active-memory operations."""
+        m, st, counter, _ = run_counter_kernel("base", 2, 1, increments=5)
+        for node in m.nodes:
+            assert node.hierarchy.l2.lookup(counter) is None
+
+    def test_am_tas_mutual_exclusion_primitive(self):
+        m, st, word, returns = run_counter_kernel(
+            "base", 2, 1, increments=1, op="am_tas"
+        )
+        # Exactly one thread saw 0 (winner); the other saw 1.
+        assert sorted(returns) == [0, 1]
+
+    def test_contended_am_beats_cached_atomics(self):
+        """When every access comes from a different node in turn (the
+        worst case for a cached atomic: the exclusive line bounces on
+        every op), the remote op wins."""
+        def contend(op):
+            m = small_machine("base", n_nodes=4)
+            ctx = AppContext(m)
+            counter = ctx.space.alloc(0, 128)
+
+            def body(k, g):
+                for _ in range(8):
+                    k.atomic(counter, op, 1)
+                    _ = yield AWAIT
+                    # Interleave with other nodes: each op re-contends.
+                    yield ("sleep", 40)
+                yield from ctx.barrier.wait(k, g)
+
+            st = run_machine(m, ctx.build_sources(body), max_cycles=5_000_000)
+            assert m.words[counter] == 32
+            return st.cycles
+
+        am = contend("am_fai")
+        cached = contend("fai")
+        assert am < cached

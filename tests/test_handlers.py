@@ -1,0 +1,306 @@
+"""Functional coverage of every coherence handler state transition,
+run standalone against a directory image (no pipeline, no network)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.handlers import (
+    boot_registers,
+    build_handler_table,
+    header_acks,
+    header_peer,
+    header_requester,
+    header_type,
+    make_header,
+)
+from repro.protocol.isa import ADDR, HDR, POp
+from repro.protocol.semantics import FunctionalRunner
+
+LAYOUT = DirectoryLayout(local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4)
+TABLE = build_handler_table()
+LINE = 0x2000  # homed at node 0
+
+
+class HandlerHarness:
+    def __init__(self, node_id=0, entry=None, line=LINE):
+        self.pmem = {}
+        self.line = line
+        if entry is not None:
+            self.pmem[LAYOUT.dir_entry_addr(line)] = entry
+        self.node_id = node_id
+        self.sent = []
+        self.ops = []
+
+    def run(self, handler_name, mtype, src, requester, **hdr_kw):
+        regs = boot_registers(LAYOUT, self.node_id)
+        regs[ADDR] = self.line
+        regs[HDR] = make_header(mtype, peer=src, requester=requester, **hdr_kw)
+        pending_hdr = [None]
+
+        def on_uncached(instr, value):
+            if instr.op is POp.SENDH:
+                pending_hdr[0] = value
+            elif instr.op is POp.SENDA:
+                self.sent.append((pending_hdr[0], value))
+            elif instr.op in (POp.SWITCH, POp.LDCTXT):
+                pass
+            else:
+                self.ops.append((instr.op, instr.imm))
+
+        runner = FunctionalRunner(
+            regs, lambda a: self.pmem.get(a, 0), self.pmem.__setitem__, on_uncached
+        )
+        runner.run(TABLE[handler_name])
+        return runner
+
+    @property
+    def entry(self):
+        return self.pmem.get(LAYOUT.dir_entry_addr(self.line), 0)
+
+    def sent_types(self):
+        return [header_type(h) for h, a in self.sent]
+
+    def sent_msgs(self):
+        return [
+            (header_type(h), header_peer(h), header_requester(h), header_acks(h))
+            for h, a in self.sent
+        ]
+
+
+class TestGet:
+    def test_unowned_gives_eager_exclusive(self):
+        h = HandlerHarness()
+        h.run("h_get", MsgType.GET, src=3, requester=3)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 3
+        assert h.sent_msgs() == [(MsgType.DATA_EXCL.value, 3, 3, 0)]
+
+    def test_shared_adds_sharer(self):
+        h = HandlerHarness(entry=d.encode(d.SHARED, vector=0b10))
+        h.run("h_get", MsgType.GET, src=4, requester=4)
+        assert d.state_of(h.entry) == d.SHARED
+        assert d.sharers_of(h.entry) == [1, 4]
+        assert h.sent_types() == [MsgType.DATA_SHARED.value]
+
+    def test_exclusive_forwards_intervention(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=2))
+        h.run("h_get", MsgType.GET, src=5, requester=5)
+        assert d.state_of(h.entry) == d.BUSY_SHARED
+        assert d.owner_of(h.entry) == 2
+        assert d.waiter_of(h.entry) == 5
+        assert h.sent_msgs() == [(MsgType.INT_SHARED.value, 2, 5, 0)]
+
+    def test_owner_rerequest_resends_data(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=5))
+        h.run("h_get", MsgType.GET, src=5, requester=5)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert h.sent_types() == [MsgType.DATA_EXCL.value]
+
+    @pytest.mark.parametrize("state", [d.BUSY_SHARED, d.BUSY_EXCLUSIVE])
+    def test_busy_nacks(self, state):
+        h = HandlerHarness(entry=d.encode(state, owner=1, waiter=2))
+        h.run("h_get", MsgType.GET, src=6, requester=6)
+        assert h.sent_msgs() == [(MsgType.NACK.value, 6, 6, 0)]
+        assert d.state_of(h.entry) == state  # unchanged
+
+
+class TestGetx:
+    def test_unowned(self):
+        h = HandlerHarness()
+        h.run("h_getx", MsgType.GETX, src=1, requester=1)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 1
+
+    def test_shared_invalidates_others(self):
+        h = HandlerHarness(
+            entry=d.encode(d.SHARED, vector=(1 << 1) | (1 << 2) | (1 << 5))
+        )
+        h.run("h_getx", MsgType.GETX, src=5, requester=5)
+        msgs = h.sent_msgs()
+        assert msgs[0] == (MsgType.DATA_EXCL.value, 5, 5, 2)  # acks=2
+        invals = sorted(m[1] for m in msgs[1:])
+        assert invals == [1, 2]
+        assert all(m[0] == MsgType.INVAL.value for m in msgs[1:])
+        assert d.owner_of(h.entry) == 5
+
+    def test_shared_sole_sharer_no_invals(self):
+        h = HandlerHarness(entry=d.encode(d.SHARED, vector=1 << 4))
+        h.run("h_getx", MsgType.GETX, src=4, requester=4)
+        assert h.sent_msgs() == [(MsgType.DATA_EXCL.value, 4, 4, 0)]
+
+    def test_exclusive_goes_busy(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=7))
+        h.run("h_getx", MsgType.GETX, src=2, requester=2)
+        assert d.state_of(h.entry) == d.BUSY_EXCLUSIVE
+        assert h.sent_msgs() == [(MsgType.INT_EXCL.value, 7, 2, 0)]
+
+    def test_busy_nacks(self):
+        h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=1, waiter=3))
+        h.run("h_getx", MsgType.GETX, src=6, requester=6)
+        assert h.sent_types() == [MsgType.NACK.value]
+
+
+class TestUpgrade:
+    def test_granted_with_acks(self):
+        h = HandlerHarness(entry=d.encode(d.SHARED, vector=0b111))
+        h.run("h_upgrade", MsgType.UPGRADE, src=0, requester=0)
+        msgs = h.sent_msgs()
+        assert msgs[0] == (MsgType.UPGRADE_ACK.value, 0, 0, 2)
+        assert sorted(m[1] for m in msgs[1:]) == [1, 2]
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 0
+
+    def test_requester_not_sharer_nacked(self):
+        h = HandlerHarness(entry=d.encode(d.SHARED, vector=0b010))
+        h.run("h_upgrade", MsgType.UPGRADE, src=3, requester=3)
+        assert h.sent_types() == [MsgType.NACK_UPGRADE.value]
+        assert d.state_of(h.entry) == d.SHARED
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            d.encode(d.UNOWNED),
+            d.encode(d.EXCLUSIVE, owner=9),
+            d.encode(d.BUSY_SHARED, owner=1, waiter=2),
+        ],
+    )
+    def test_wrong_state_nacked(self, entry):
+        h = HandlerHarness(entry=entry)
+        h.run("h_upgrade", MsgType.UPGRADE, src=3, requester=3)
+        assert h.sent_types() == [MsgType.NACK_UPGRADE.value]
+
+
+class TestWritebacks:
+    def test_put_stable(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=4))
+        h.run("h_put", MsgType.PUT, src=4, requester=4)
+        assert d.state_of(h.entry) == d.UNOWNED
+        assert h.sent_msgs() == [(MsgType.WB_ACK.value, 4, 4, 0)]
+        assert (POp.MEMWR, 0) in h.ops
+
+    def test_put_race_completes_waiter(self):
+        h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=4, waiter=9))
+        h.run("h_put", MsgType.PUT, src=4, requester=4)
+        msgs = h.sent_msgs()
+        assert msgs[0] == (MsgType.DATA_EXCL.value, 9, 9, 0)
+        assert msgs[1] == (MsgType.WB_ACK.value, 4, 4, 0)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 9
+
+    def test_put_from_non_owner_traps(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=4))
+        with pytest.raises(ProtocolError):
+            h.run("h_put", MsgType.PUT, src=6, requester=6)
+
+    def test_swb_downgrade_revision(self):
+        h = HandlerHarness(entry=d.encode(d.BUSY_SHARED, owner=2, waiter=5))
+        h.run("h_swb", MsgType.SWB, src=2, requester=5)
+        assert d.state_of(h.entry) == d.SHARED
+        assert sorted(d.sharers_of(h.entry)) == [2, 5]
+        assert (POp.MEMWR, 0) in h.ops
+
+    def test_swb_wrong_state_traps(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=2))
+        with pytest.raises(ProtocolError):
+            h.run("h_swb", MsgType.SWB, src=2, requester=5)
+
+    def test_xfer_transfers_ownership(self):
+        h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=2, waiter=5))
+        h.run("h_xfer", MsgType.XFER, src=2, requester=5)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 5
+        assert (POp.MEMWR, 0) not in h.ops  # dirty data went to requester
+
+    def test_int_nack_is_a_nop(self):
+        h = HandlerHarness(entry=d.encode(d.BUSY_SHARED, owner=2, waiter=5))
+        h.run("h_int_nack", MsgType.INT_NACK, src=2, requester=5)
+        assert h.sent == []
+        assert d.state_of(h.entry) == d.BUSY_SHARED
+
+
+class TestProbeSide:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [("h_int_shared", 1), ("h_int_excl", 0), ("h_inval", 0)],
+    )
+    def test_interventions_probe_and_finish(self, name, kind):
+        h = HandlerHarness()
+        h.run(name, MsgType.INT_SHARED, src=0, requester=5)
+        assert h.ops == [(POp.PROBE, kind)]
+        assert h.sent == []
+
+    def test_probe_sh_done_hit(self):
+        h = HandlerHarness(node_id=2)
+        h.run(
+            "h_probe_sh_done", MsgType.L2_PROBE_REPLY, src=0, requester=5,
+            found=True, dirty=True,
+        )
+        msgs = h.sent_msgs()
+        assert msgs[0][:3] == (MsgType.DATA_SHARED.value, 5, 5)
+        assert msgs[1][:3] == (MsgType.SWB.value, 0, 5)
+
+    def test_probe_sh_done_miss_nacks_home(self):
+        h = HandlerHarness(node_id=2)
+        h.run(
+            "h_probe_sh_done", MsgType.L2_PROBE_REPLY, src=0, requester=5,
+            found=False,
+        )
+        assert h.sent_msgs() == [(MsgType.INT_NACK.value, 0, 5, 0)]
+
+    def test_probe_ex_done_hit(self):
+        h = HandlerHarness(node_id=2)
+        h.run(
+            "h_probe_ex_done", MsgType.L2_PROBE_REPLY, src=0, requester=7,
+            found=True,
+        )
+        msgs = h.sent_msgs()
+        assert msgs[0][:3] == (MsgType.DATA_EXCL.value, 7, 7)
+        assert msgs[1][:3] == (MsgType.XFER.value, 0, 7)
+
+    def test_inval_done_acks_requester(self):
+        h = HandlerHarness(node_id=2)
+        h.run(
+            "h_inval_done", MsgType.L2_PROBE_REPLY, src=0, requester=9,
+            found=True,
+        )
+        assert h.sent_msgs() == [(MsgType.INV_ACK.value, 9, 9, 0)]
+
+
+class TestRequesterSide:
+    @pytest.mark.parametrize(
+        "name,op",
+        [
+            ("h_reply_data_sh", POp.COMPLETE),
+            ("h_reply_data_ex", POp.COMPLETE),
+            ("h_reply_upgrade_ack", POp.COMPLETE),
+            ("h_reply_inv_ack", POp.COMPLETE),
+            ("h_reply_nack", POp.RESEND),
+            ("h_reply_nack_upgrade", POp.RESEND),
+        ],
+    )
+    def test_reply_handlers(self, name, op):
+        h = HandlerHarness()
+        h.run(name, MsgType.DATA_SHARED, src=1, requester=0)
+        assert [o for o, _ in h.ops] == [op]
+
+    def test_wb_ack_is_empty(self):
+        h = HandlerHarness()
+        h.run("h_reply_wb_ack", MsgType.WB_ACK, src=1, requester=0)
+        assert h.ops == [] and h.sent == []
+
+    @pytest.mark.parametrize(
+        "name,mtype",
+        [
+            ("pi_fwd_get", MsgType.GET),
+            ("pi_fwd_getx", MsgType.GETX),
+            ("pi_fwd_upgrade", MsgType.UPGRADE),
+        ],
+    )
+    def test_pi_forward_targets_home(self, name, mtype):
+        h = HandlerHarness(node_id=3)
+        h.line = (5 << 22) | 0x700  # homed at node 5
+        h.run(name, MsgType.GET, src=3, requester=3)
+        assert h.sent_msgs() == [(mtype.value, 5, 3, 0)]

@@ -1,0 +1,119 @@
+"""Machine assembly: clocking, watchdog, stats roll-up, models."""
+
+import pytest
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.common.stats import speedup
+from repro.core.models import MODELS, make_machine_params, paper_exact_params
+from tests.conftest import Completion, small_machine
+
+
+class TestModelFactory:
+    def test_all_models_construct(self):
+        for model in MODELS:
+            mp = make_machine_params(model, n_nodes=2)
+            assert mp.model == model
+
+    def test_base_is_400mhz(self):
+        mp = make_machine_params("base")
+        assert mp.mc_freq_ghz == pytest.approx(0.4)
+        assert mp.mc_divisor == 5
+
+    def test_integrated_models_half_speed(self):
+        for model in ("int512kb", "int64kb", "smtp"):
+            mp = make_machine_params(model)
+            assert mp.mc_divisor == 2
+
+    def test_intperfect_full_speed(self):
+        mp = make_machine_params("intperfect")
+        assert mp.mc_divisor == 1
+        assert mp.dir_cache == "perfect"
+
+    def test_dir_cache_ratio_preserved(self):
+        a = make_machine_params("int512kb").dir_cache
+        b = make_machine_params("int64kb").dir_cache
+        assert a == 8 * b
+
+    def test_smtp_has_no_dir_cache(self):
+        assert make_machine_params("smtp").dir_cache is None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            make_machine_params("origin2000")
+
+    def test_paper_exact_full_sizes(self):
+        mp = paper_exact_params("smtp")
+        assert mp.proc.l2.size_bytes == 2 * 1024 * 1024
+        assert mp.sdram_access_cycles == 160
+        assert mp.hop_cycles == 50
+
+    def test_time_scale_divides_latencies(self):
+        mp = make_machine_params("smtp", time_scale=4)
+        assert mp.sdram_access_cycles == 40
+        assert mp.hop_cycles == 12
+
+    def test_4ghz_keeps_base_mc_at_400mhz(self):
+        mp = make_machine_params("base", freq_ghz=4.0)
+        assert mp.mc_freq_ghz == pytest.approx(0.4)
+        assert mp.mc_divisor == 10
+
+
+class TestMachine:
+    def test_watchdog_fires_on_stall(self):
+        m = small_machine("base", n_nodes=1, watchdog_cycles=100)
+        with pytest.raises(DeadlockError):
+            for _ in range(500):
+                m.step()
+
+    def test_progress_resets_watchdog(self):
+        m = small_machine("base", n_nodes=1, watchdog_cycles=200)
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
+        for _ in range(150):
+            m.step()
+        m.nodes[0].hierarchy.load(0x2000, False, done.cb("b"))
+        m.quiesce()  # no DeadlockError
+
+    def test_stats_rollup(self):
+        m = small_machine("base", n_nodes=2)
+        done = Completion(m)
+        m.nodes[0].hierarchy.load((1 << 22) | 0x80, False, done.cb("a"))
+        m.quiesce()
+        st = m.collect_stats()
+        assert st.n_nodes == 2
+        assert st.cycles == m.cycle
+        assert st.nodes[1].protocol.handlers >= 1
+        assert st.to_dict()["model"] == "base"
+
+    def test_speedup_helper(self):
+        m1 = small_machine("base", n_nodes=1)
+        m1.cycle = 1000
+        m2 = small_machine("base", n_nodes=2)
+        m2.cycle = 400
+        assert speedup(m1.collect_stats(), m2.collect_stats()) == pytest.approx(2.5)
+
+    def test_quiesce_raises_if_stuck(self):
+        m = small_machine("smtp", n_nodes=1)
+        # No engine installed (no cores): a local miss can never be
+        # serviced, so quiesce must give up with a report.
+        m.nodes[0].hierarchy.load(0x1000, False, lambda v: None)
+        with pytest.raises(DeadlockError):
+            m.quiesce(max_cycles=5_000)
+
+
+class TestClockDomains:
+    def test_mc_steps_on_divided_clock(self):
+        m = small_machine("base", n_nodes=1)  # divisor 5
+        calls = []
+        orig = m.nodes[0].mc.step
+        m.nodes[0].mc.step = lambda: calls.append(m.cycle) or orig()
+        for _ in range(20):
+            m.step()
+        assert calls == [5, 10, 15, 20]
+
+    def test_4ghz_run_completes(self):
+        m = small_machine("base", n_nodes=1, freq_ghz=4.0)
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
+        m.quiesce()
+        assert "a" in done

@@ -1,0 +1,149 @@
+"""SDRAM timing, directory caches, dispatch resolution, PP engine."""
+
+import pytest
+
+from repro.common.params import PERFECT, MachineParams, ProcessorParams
+from repro.common.stats import NodeStats
+from repro.memctrl.dircache import (
+    DirectMappedCache,
+    PerfectCache,
+    make_directory_cache,
+)
+from repro.memctrl.dispatch import handler_name_for, incoming_header
+from repro.memctrl.sdram import SDRAM
+from repro.network.messages import Message, MsgType
+from repro.protocol.handlers import header_requester, header_type
+from tests.conftest import Completion, small_machine
+
+
+def mp():
+    return MachineParams(
+        model="base", n_nodes=4, proc=ProcessorParams(),
+        protocol_engine="pp", dir_cache=1024,
+    )
+
+
+class TestSDRAM:
+    def test_access_latency(self):
+        s = SDRAM(mp(), NodeStats())
+        assert s.access(100) == 100 + s.access_cycles
+
+    def test_bandwidth_occupancy_serializes(self):
+        s = SDRAM(mp(), NodeStats())
+        t1 = s.access(0)
+        t2 = s.access(0)
+        assert t2 == t1 + s.occupancy_cycles
+
+    def test_idle_gap_no_queueing(self):
+        s = SDRAM(mp(), NodeStats())
+        s.access(0)
+        far = 10 * s.occupancy_cycles
+        assert s.access(far) == far + s.access_cycles
+
+    def test_queue_depth_estimate(self):
+        s = SDRAM(mp(), NodeStats())
+        for _ in range(4):
+            s.access(0)
+        assert s.queue_depth(0) >= 3
+
+    def test_stats_counted(self):
+        st = NodeStats()
+        s = SDRAM(mp(), st)
+        s.access(0)
+        s.access(0)
+        assert st.sdram_accesses == 2
+        assert st.sdram_busy_cycles == 2 * s.occupancy_cycles
+
+
+class TestDirCache:
+    def test_direct_mapped_conflicts(self):
+        c = DirectMappedCache(size_bytes=128, line_bytes=64)  # 2 lines
+        assert not c.access(0x000)
+        assert c.access(0x000)
+        assert not c.access(0x080)  # maps to line 0: evicts
+        assert not c.access(0x000)
+
+    def test_perfect_always_hits(self):
+        c = PerfectCache()
+        assert c.access(0xDEAD)
+        assert c.misses == 0
+
+    def test_factory(self):
+        assert isinstance(make_directory_cache(PERFECT), PerfectCache)
+        assert isinstance(make_directory_cache(4096), DirectMappedCache)
+        with pytest.raises(ValueError):
+            make_directory_cache(None)
+
+
+class TestDispatchResolution:
+    def test_request_at_home(self):
+        msg = Message(MsgType.GET, 0x100, src=2, dest=1, requester=2)
+        assert handler_name_for(msg, node_id=1) == "h_get"
+
+    def test_local_miss_remote_home_forwards(self):
+        msg = Message(MsgType.GETX, 0x100, src=1, dest=3, requester=1)
+        assert handler_name_for(msg, node_id=1) == "pi_fwd_getx"
+
+    def test_reply_resolution(self):
+        msg = Message(MsgType.DATA_EXCL, 0x100, src=3, dest=1, requester=1)
+        assert handler_name_for(msg, node_id=1) == "h_reply_data_ex"
+
+    def test_probe_reply_requires_kind(self):
+        msg = Message(MsgType.L2_PROBE_REPLY, 0x100, src=0, dest=1)
+        with pytest.raises(ValueError):
+            handler_name_for(msg, 1)
+
+    def test_incoming_header_fields(self):
+        msg = Message(MsgType.GET, 0x100, src=2, dest=1, requester=5)
+        hdr = incoming_header(msg)
+        assert header_type(hdr) == MsgType.GET.value
+        assert header_requester(hdr) == 5
+
+
+class TestPPEngine:
+    def test_handler_execution_advances_directory(self):
+        m = small_machine("base", n_nodes=1)
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("ld"))
+        m.quiesce()
+        assert m.nodes[0].stats.protocol.handlers == 1
+        assert m.nodes[0].stats.protocol.instructions > 10
+
+    def test_engine_busy_serializes_handlers(self):
+        m = small_machine("base", n_nodes=1)
+        done = Completion(m)
+        h = m.nodes[0].hierarchy
+        h.load(0x1000, False, done.cb("a"))
+        h.load(0x9000, False, done.cb("b"))
+        m.quiesce()
+        assert m.nodes[0].stats.protocol.handlers == 2
+        assert m.nodes[0].stats.protocol.busy_cycles > 0
+
+    def test_dircache_miss_stalls_show_up(self):
+        m = small_machine("base", n_nodes=1)
+        done = Completion(m)
+        m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
+        m.quiesce()
+        p = m.nodes[0].stats.protocol
+        assert p.dir_cache_misses >= 1
+
+    def test_perfect_model_faster_than_base(self):
+        lat = {}
+        for model in ("base", "intperfect"):
+            m = small_machine(model, n_nodes=1)
+            done = Completion(m)
+            m.nodes[0].hierarchy.load(0x1000, False, done.cb("ld"))
+            m.quiesce()
+            lat[model] = done.cycle("ld")
+        assert lat["intperfect"] < lat["base"]
+
+    def test_picache_warms_up(self):
+        m = small_machine("base", n_nodes=1)
+        done = Completion(m)
+        h = m.nodes[0].hierarchy
+        h.load(0x10000, False, done.cb("a"))
+        m.quiesce()
+        cold = m.nodes[0].stats.protocol.picache_misses
+        h.load(0x20000, False, done.cb("b"))
+        m.quiesce()
+        assert m.nodes[0].stats.protocol.picache_misses == cold

@@ -1,0 +1,109 @@
+"""MSHR file: capacity classes, merging, ack counting, completion."""
+
+import pytest
+
+from repro.caches.mshr import MissKind, MSHRFile
+
+
+class FakeWaiter:
+    def __init__(self, is_store=False):
+        self.is_store = is_store
+
+
+class TestCapacity:
+    def test_app_limit(self):
+        f = MSHRFile(app_entries=2, protocol_reserved=1)
+        assert f.allocate(0x000, MissKind.READ) is not None
+        assert f.allocate(0x080, MissKind.READ) is not None
+        assert f.allocate(0x100, MissKind.READ) is None  # app class full
+
+    def test_store_class_gets_extra_entry(self):
+        f = MSHRFile(app_entries=1, protocol_reserved=0)
+        assert f.allocate(0x000, MissKind.READ) is not None
+        assert f.allocate(0x080, MissKind.WRITE, store=True) is not None
+        assert f.allocate(0x100, MissKind.WRITE, store=True) is None
+
+    def test_protocol_reserved_entry(self):
+        f = MSHRFile(app_entries=1, protocol_reserved=1)
+        assert f.allocate(0x000, MissKind.READ) is not None
+        assert f.allocate(0x080, MissKind.WRITE, store=True) is not None
+        # App classes exhausted; the protocol still gets its slot.
+        assert f.allocate(0x100, MissKind.READ, protocol=True) is not None
+
+    def test_free_restores_class(self):
+        f = MSHRFile(app_entries=1)
+        f.allocate(0x000, MissKind.READ)
+        assert f.allocate(0x080, MissKind.READ) is None
+        f.free(0x000)
+        assert f.allocate(0x080, MissKind.READ) is not None
+
+    def test_double_allocate_same_line_raises(self):
+        f = MSHRFile()
+        f.allocate(0x000, MissKind.READ)
+        with pytest.raises(ValueError):
+            f.allocate(0x000, MissKind.WRITE)
+
+    def test_protocol_peak_tracking(self):
+        f = MSHRFile(app_entries=4, protocol_reserved=1)
+        f.allocate(0x000, MissKind.READ, protocol=True)
+        f.allocate(0x080, MissKind.READ, protocol=True)
+        f.free(0x000)
+        assert f.peak_proto == 2
+
+
+class TestCompletion:
+    def test_complete_requires_data_and_acks(self):
+        f = MSHRFile()
+        e = f.allocate(0x000, MissKind.WRITE)
+        assert not e.complete
+        f.data_reply(0x000, version=3, writable=True, acks=2)
+        assert not e.complete
+        f.inval_ack(0x000)
+        f.inval_ack(0x000)
+        assert e.complete
+
+    def test_acks_may_arrive_before_data(self):
+        f = MSHRFile()
+        e = f.allocate(0x000, MissKind.WRITE)
+        f.inval_ack(0x000)
+        assert e.pending_acks == -1
+        f.data_reply(0x000, version=1, writable=True, acks=1)
+        assert e.complete
+
+    def test_inval_ack_unknown_line_returns_none(self):
+        assert MSHRFile().inval_ack(0x123) is None
+
+    def test_merge_write_into_read_sets_upgrade_pending(self):
+        f = MSHRFile()
+        e = f.allocate(0x000, MissKind.READ)
+        f.merge(e, FakeWaiter(is_store=True), wants_write=True)
+        assert e.upgrade_pending
+        # A writable reply satisfies the stores, too.
+        f.data_reply(0x000, version=0, writable=True, acks=0)
+        assert e.complete
+
+    def test_merge_read_into_write_no_upgrade(self):
+        f = MSHRFile()
+        e = f.allocate(0x000, MissKind.WRITE)
+        f.merge(e, FakeWaiter(), wants_write=False)
+        assert not e.upgrade_pending
+
+    def test_free_returns_waiters(self):
+        f = MSHRFile()
+        e = f.allocate(0x000, MissKind.READ)
+        w1, w2 = FakeWaiter(), FakeWaiter()
+        f.merge(e, w1, False)
+        f.merge(e, w2, False)
+        assert f.free(0x000) == [w1, w2]
+
+    def test_kind_wants_write(self):
+        assert MissKind.WRITE.wants_write
+        assert MissKind.PREFETCH_EX.wants_write
+        assert not MissKind.READ.wants_write
+        assert not MissKind.PREFETCH.wants_write
+
+    def test_in_flight_lines(self):
+        f = MSHRFile()
+        f.allocate(0x000, MissKind.READ)
+        f.allocate(0x080, MissKind.WRITE)
+        assert sorted(f.in_flight_line_addrs()) == [0x000, 0x080]

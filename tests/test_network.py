@@ -1,0 +1,169 @@
+"""Messages, topology and fabric: virtual networks, e-cube routing,
+wormhole timing, link contention, NI backpressure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.events import EventWheel
+from repro.common.params import MachineParams, ProcessorParams
+from repro.network.fabric import Interconnect
+from repro.network.messages import Message, MsgType, virtual_network
+from repro.network.topology import BristledHypercube
+
+
+class TestVirtualNetworks:
+    @pytest.mark.parametrize(
+        "mtype,vn",
+        [
+            (MsgType.GET, 0),
+            (MsgType.GETX, 0),
+            (MsgType.UPGRADE, 0),
+            (MsgType.DATA_SHARED, 1),
+            (MsgType.DATA_EXCL, 1),
+            (MsgType.NACK, 1),
+            (MsgType.INV_ACK, 1),
+            (MsgType.WB_ACK, 1),
+            (MsgType.INT_SHARED, 2),
+            (MsgType.INT_EXCL, 2),
+            (MsgType.INVAL, 2),
+            (MsgType.PUT, 2),
+            (MsgType.SWB, 2),
+            (MsgType.XFER, 2),
+            (MsgType.INT_NACK, 2),
+        ],
+    )
+    def test_vn_assignment(self, mtype, vn):
+        assert virtual_network(mtype) == vn
+
+    def test_data_bearing(self):
+        assert Message(MsgType.DATA_EXCL, 0, 0, 1).carries_data
+        assert Message(MsgType.PUT, 0, 0, 1).carries_data
+        assert not Message(MsgType.GET, 0, 0, 1).carries_data
+
+    def test_unique_uids(self):
+        a = Message(MsgType.GET, 0, 0, 1)
+        b = Message(MsgType.GET, 0, 0, 1)
+        assert a.uid != b.uid
+
+
+class TestTopology:
+    def test_16_nodes_8_routers(self):
+        t = BristledHypercube(16)
+        assert t.n_routers == 8
+        assert t.dim == 3
+
+    def test_bristle_mapping(self):
+        t = BristledHypercube(16)
+        assert t.router_of(0) == 0
+        assert t.router_of(1) == 0
+        assert t.router_of(15) == 7
+        assert t.nodes_of(3) == [6, 7]
+
+    def test_single_node(self):
+        t = BristledHypercube(1)
+        assert t.n_routers == 1
+        assert t.hops(0, 0) == 0
+
+    def test_two_nodes_share_router(self):
+        t = BristledHypercube(2)
+        assert t.hops(0, 1) == 2  # inject + eject, same router
+
+    def test_ecube_path(self):
+        t = BristledHypercube(16)
+        assert t.router_path(0, 7) == [0, 1, 3, 7]
+        assert t.router_path(5, 5) == [5]
+
+    def test_hop_symmetry(self):
+        t = BristledHypercube(32)
+        for a, b in [(0, 31), (5, 9), (14, 3)]:
+            assert t.hops(a, b) == t.hops(b, a)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_path_connects_endpoints(self, a, b):
+        t = BristledHypercube(32)
+        path = t.router_path(t.router_of(a), t.router_of(b))
+        assert path[0] == t.router_of(a)
+        assert path[-1] == t.router_of(b)
+        for x, y in zip(path, path[1:]):
+            assert bin(x ^ y).count("1") == 1  # one dimension per hop
+
+    def test_links_inventory(self):
+        t = BristledHypercube(4)
+        links = t.links()
+        injections = [l for l in links if l[0] == "inj"]
+        assert len(injections) == 4
+
+
+def make_fabric(n_nodes=4):
+    mp = MachineParams(
+        model="base", n_nodes=n_nodes, proc=ProcessorParams(),
+        protocol_engine="pp", dir_cache=1024,
+    )
+    wheel = EventWheel()
+    return Interconnect(mp, wheel), wheel, mp
+
+
+class TestFabric:
+    def test_delivery(self):
+        fabric, wheel, mp = make_fabric()
+        got = []
+        fabric.attach(3, lambda m: got.append(m) or True)
+        fabric.send(Message(MsgType.GET, 0x100, src=0, dest=3))
+        for c in range(1, 5000):
+            wheel.tick(c)
+            if got:
+                break
+        assert got and got[0].addr == 0x100
+
+    def test_latency_scales_with_distance(self):
+        fabric, wheel, mp = make_fabric(16)
+        arrivals = {}
+        for dest in (1, 15):
+            fabric.attach(dest, lambda m, d=dest: arrivals.__setitem__(d, wheel.now) or True)
+        fabric.send(Message(MsgType.GET, 0, src=0, dest=1))
+        fabric.send(Message(MsgType.GET, 0, src=0, dest=15))
+        for c in range(1, 10000):
+            wheel.tick(c)
+        assert arrivals[1] < arrivals[15]
+
+    def test_send_to_self_rejected(self):
+        fabric, wheel, mp = make_fabric()
+        with pytest.raises(ValueError):
+            fabric.send(Message(MsgType.GET, 0, src=2, dest=2))
+
+    def test_backpressure_retries(self):
+        fabric, wheel, mp = make_fabric()
+        attempts = []
+        accept_after = 3
+
+        def deliver(m):
+            attempts.append(wheel.now)
+            return len(attempts) >= accept_after
+
+        fabric.attach(1, deliver)
+        fabric.send(Message(MsgType.GET, 0, src=0, dest=1))
+        for c in range(1, 5000):
+            wheel.tick(c)
+        assert len(attempts) == accept_after
+
+    def test_link_contention_serializes(self):
+        """Two data messages on the same path: second arrives later by
+        at least the serialization time."""
+        fabric, wheel, mp = make_fabric()
+        arrivals = []
+        fabric.attach(1, lambda m: arrivals.append(wheel.now) or True)
+        fabric.send(Message(MsgType.DATA_EXCL, 0, src=0, dest=1, version=1))
+        fabric.send(Message(MsgType.DATA_EXCL, 0x80, src=0, dest=1, version=1))
+        for c in range(1, 20000):
+            wheel.tick(c)
+        assert len(arrivals) == 2
+        assert arrivals[1] - arrivals[0] >= mp.data_msg_link_cycles
+
+    def test_stats(self):
+        fabric, wheel, mp = make_fabric()
+        fabric.attach(1, lambda m: True)
+        fabric.send(Message(MsgType.GET, 0, src=0, dest=1))
+        for c in range(1, 5000):
+            wheel.tick(c)
+        assert fabric.messages_sent == 1
+        assert fabric.mean_latency() > 0

@@ -1,0 +1,177 @@
+"""Protocol ISA: assembler, instruction metadata, semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.protocol import semantics
+from repro.protocol.isa import (
+    ADDR,
+    HDR,
+    T0,
+    T1,
+    ZERO,
+    HandlerBuilder,
+    HandlerTable,
+    PInstr,
+    POp,
+)
+
+
+class TestBuilder:
+    def test_requires_done(self):
+        h = HandlerBuilder("x")
+        h.addi(T0, ZERO, 1)
+        with pytest.raises(ConfigError):
+            h.build()
+
+    def test_labels_resolve(self):
+        h = HandlerBuilder("x")
+        h.beqz(T0, "end")
+        h.addi(T0, T0, 1)
+        h.label("end")
+        h.done()
+        built = h.build()
+        assert built.instrs[0].target == 2
+
+    def test_undefined_label_raises(self):
+        h = HandlerBuilder("x")
+        h.beqz(T0, "nowhere")
+        h.done()
+        with pytest.raises(ConfigError):
+            h.build()
+
+    def test_duplicate_label_raises(self):
+        h = HandlerBuilder("x")
+        h.label("a")
+        with pytest.raises(ConfigError):
+            h.label("a")
+
+    def test_ends_with_switch_ldctxt(self):
+        h = HandlerBuilder("x")
+        h.done()
+        built = h.build()
+        assert built.instrs[-2].op is POp.SWITCH
+        assert built.instrs[-1].op is POp.LDCTXT
+
+
+class TestMetadata:
+    def test_alu_reads_writes(self):
+        i = PInstr(POp.ADD, rd=T0, rs1=T1, rs2=ADDR)
+        assert i.reads() == [T1, ADDR]
+        assert i.writes() == T0
+
+    def test_store_reads_value_and_base(self):
+        i = PInstr(POp.ST, rd=T0, rs1=T1, imm=4)
+        assert i.reads() == [T0, T1]
+        assert i.writes() is None
+
+    def test_load_writes_dest(self):
+        i = PInstr(POp.LD, rd=T0, rs1=T1)
+        assert i.writes() == T0
+
+    def test_zero_dest_writes_nothing(self):
+        i = PInstr(POp.ADD, rd=ZERO, rs1=T1, rs2=T0)
+        assert i.writes() is None
+
+    def test_switch_writes_hdr_ldctxt_writes_addr(self):
+        assert PInstr(POp.SWITCH).writes() == HDR
+        assert PInstr(POp.LDCTXT).writes() == ADDR
+
+    def test_branch_flags(self):
+        assert PInstr(POp.BEQZ, rs1=T0).is_branch
+        assert PInstr(POp.SENDH, rs1=T0).is_uncached
+        assert PInstr(POp.LD, rd=T0, rs1=T1).is_memory
+
+
+class TestSemantics:
+    def run_one(self, instr, regs=None, pmem=None):
+        regs = regs or [0] * 32
+        pmem = pmem or {}
+        return semantics.step(instr, 0, regs, lambda a: pmem.get(a, 0))
+
+    @pytest.mark.parametrize(
+        "op,a,b,expect",
+        [
+            (POp.ADD, 3, 4, 7),
+            (POp.SUB, 10, 4, 6),
+            (POp.AND, 0b1100, 0b1010, 0b1000),
+            (POp.OR, 0b1100, 0b1010, 0b1110),
+            (POp.XOR, 0b1100, 0b1010, 0b0110),
+            (POp.SLL, 1, 5, 32),
+            (POp.SRL, 32, 5, 1),
+            (POp.SEQ, 7, 7, 1),
+            (POp.SEQ, 7, 8, 0),
+            (POp.SLT, 3, 9, 1),
+            (POp.POPC, 0b1011, 0, 3),
+            (POp.CTZ, 0b101000, 0, 3),
+        ],
+    )
+    def test_alu_ops(self, op, a, b, expect):
+        assert semantics.alu(op, a, b) == expect
+
+    def test_ctz_of_zero(self):
+        assert semantics.alu(POp.CTZ, 0, 0) == 64
+
+    def test_sub_wraps_64bit(self):
+        assert semantics.alu(POp.SUB, 0, 1) == (1 << 64) - 1
+
+    def test_nor(self):
+        assert semantics.alu(POp.NOR, 0, 0) == (1 << 64) - 1
+
+    def test_load_reads_pmem(self):
+        regs = [0] * 32
+        regs[T1] = 0x100
+        r = self.run_one(PInstr(POp.LD, rd=T0, rs1=T1, imm=8), regs, {0x108: 42})
+        assert r.value == 42 and r.dest == T0 and r.mem_addr == 0x108
+
+    def test_store_exposes_addr_value(self):
+        regs = [0] * 32
+        regs[T0] = 9
+        regs[T1] = 0x200
+        r = self.run_one(PInstr(POp.ST, rd=T0, rs1=T1), regs)
+        assert r.is_store and r.mem_addr == 0x200 and r.value == 9
+
+    def test_branch_taken(self):
+        regs = [0] * 32
+        r = semantics.step(PInstr(POp.BEQZ, rs1=T0, target=5), 0, regs, lambda a: 0)
+        assert r.taken and r.next_index == 5
+
+    def test_branch_not_taken(self):
+        regs = [0] * 32
+        regs[T0] = 1
+        r = semantics.step(PInstr(POp.BEQZ, rs1=T0, target=5), 0, regs, lambda a: 0)
+        assert not r.taken and r.next_index == 1
+
+    def test_trap_raises(self):
+        with pytest.raises(ProtocolError):
+            self.run_one(PInstr(POp.TRAP, imm=3))
+
+    def test_uncached_carries_operand(self):
+        regs = [0] * 32
+        regs[T0] = 0xBEEF
+        r = self.run_one(PInstr(POp.SENDH, rs1=T0), regs)
+        assert r.uncached and r.value == 0xBEEF
+
+
+class TestHandlerTable:
+    def test_placement_aligns_to_icache_lines(self):
+        t = HandlerTable(code_base=0x1000)
+        h1 = HandlerBuilder("a")
+        h1.done()
+        h2 = HandlerBuilder("b")
+        h2.done()
+        t.place(h1.build())
+        t.place(h2.build())
+        assert t["a"].pc == 0x1000
+        assert t["b"].pc % 64 == 0
+        assert t["b"].pc > t["a"].pc
+
+    def test_full_table_builds(self):
+        from repro.protocol.handlers import build_handler_table
+
+        t = build_handler_table()
+        assert len(t.by_name) >= 20
+        assert t.total_instructions() > 300
+        # The paper's short critical handlers really are short.
+        assert len(t["h_reply_data_sh"]) <= 6
+        assert len(t["h_int_shared"]) <= 6

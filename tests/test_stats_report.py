@@ -1,0 +1,128 @@
+"""Stats containers and paper-style report rendering."""
+
+import pytest
+
+from repro.common.stats import (
+    CacheStats,
+    MachineStats,
+    NodeStats,
+    ProtocolStats,
+    ThreadStats,
+)
+from repro.sim import report
+
+
+def make_stats(cycles=1000, model="smtp", n_nodes=2):
+    st = MachineStats(model=model, n_nodes=n_nodes, ways=1, freq_ghz=2.0,
+                      cycles=cycles)
+    for i in range(n_nodes):
+        ns = NodeStats(node=i)
+        ts = ThreadStats(node=i, context=0, committed=500,
+                         memory_stall_cycles=300, branches=50, mispredicts=5)
+        ns.threads.append(ts)
+        ns.protocol.busy_cycles = 100 * (i + 1)
+        ns.protocol.instructions = 40
+        ns.protocol.branches = 10
+        ns.protocol.mispredicts = 1
+        ns.peaks.branch_stack = 5 + i
+        ns.peaks.int_regs = 40
+        ns.peaks.int_queue = 8
+        ns.peaks.lsq = 6
+        st.nodes.append(ns)
+    return st
+
+
+class TestCacheStats:
+    def test_record_and_rates(self):
+        c = CacheStats()
+        c.record(True, False)
+        c.record(False, False)
+        c.record(False, True)
+        assert c.hits == 1 and c.misses == 2
+        assert c.miss_rate() == pytest.approx(2 / 3)
+        assert c.proto_misses == 1
+
+    def test_empty_rate(self):
+        assert CacheStats().miss_rate() == 0.0
+
+
+class TestMachineStats:
+    def test_memory_stall_is_mean_over_threads(self):
+        st = make_stats()
+        assert st.memory_stall_cycles == 300
+        assert st.memory_stall_fraction == pytest.approx(0.3)
+
+    def test_occupancy_peak_is_max_node(self):
+        st = make_stats()
+        assert st.protocol_occupancy_peak() == pytest.approx(0.2)
+        assert st.protocol_occupancy_mean() == pytest.approx(0.15)
+
+    def test_retired_share(self):
+        st = make_stats()
+        assert st.retired_protocol_share() == pytest.approx(80 / 1080)
+
+    def test_mispredict_rate(self):
+        st = make_stats()
+        assert st.protocol_branch_mispredict_rate() == pytest.approx(0.1)
+
+    def test_resource_peaks(self):
+        st = make_stats()
+        mx, mean = st.resource_peaks()["branch_stack"]
+        assert mx == 6 and mean == 5.5
+
+    def test_exec_seconds(self):
+        st = make_stats(cycles=2_000_000_000)
+        assert st.exec_seconds == pytest.approx(1.0)
+
+    def test_thread_mispredict_rate(self):
+        t = ThreadStats(branches=10, mispredicts=3)
+        assert t.mispredict_rate == pytest.approx(0.3)
+
+    def test_handler_counting(self):
+        p = ProtocolStats()
+        p.count_handler("h_get")
+        p.count_handler("h_get")
+        assert p.handlers == 2
+        assert p.handlers_by_type == {"h_get": 2}
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = report.format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_speedup_table(self):
+        out = report.speedup_table(
+            {"FFT": {1: 13.87, 2: 19.32}}, ways=[1, 2]
+        )
+        assert "13.87" in out and "FFT" in out
+
+    def test_normalized_exec_table(self):
+        results = {
+            "FFT": {
+                "base": make_stats(1000, "base"),
+                "smtp": make_stats(800, "smtp"),
+            }
+        }
+        out = report.normalized_exec_table(results, ["base", "smtp"])
+        assert "1.000" in out and "0.800" in out
+
+    def test_occupancy_table(self):
+        out = report.occupancy_table(
+            {"FFT": {"base": make_stats()}}, ["base"]
+        )
+        assert "%" in out
+
+    def test_protocol_thread_table(self):
+        out = report.protocol_thread_table({"FFT": make_stats()})
+        assert "of all" in out
+
+    def test_resource_table(self):
+        out = report.resource_occupancy_table({"FFT": make_stats()})
+        assert "Int. Regs" in out
+
+    def test_summary(self):
+        out = report.summarize(make_stats())
+        assert "smtp" in out and "cycles" in out
