@@ -1,0 +1,24 @@
+# Convenience targets for CI and local development.
+# The repo is pure Python; PYTHONPATH=src avoids needing an install.
+
+PYTHON ?= python
+JOBS ?= 4
+
+.PHONY: test tier1 smoke bench clean-cache
+
+# Tier-1 gate: the full unit/integration/property suite.
+test tier1:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# CI-sized sweep (2 apps x 2 models, tiny preset). Writes
+# BENCH_smoke.json — one perf-trajectory point per commit.
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sweep --grid smoke --name smoke \
+		--jobs $(JOBS) --timeout 120
+
+# Regenerate every paper table/figure (cache-warm after first run).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+clean-cache:
+	rm -rf benchmarks/.sweep_cache .sweep_cache

@@ -2,13 +2,21 @@
 
 Every benchmark regenerates one of the paper's tables or figures by
 running the relevant configuration matrix and printing the rows the
-paper prints.  Runs are memoized on disk (``benchmarks/.bench_cache.json``)
-so Table 7 can reuse Figure 5's 16-node runs, and a re-invocation of
-the suite is incremental.  Delete the cache file or set
-``REPRO_BENCH_REFRESH=1`` to force re-simulation.
+paper prints.  The matrices are executed through
+:mod:`repro.sim.sweep`: each bench first *prefetches* its whole grid —
+cache misses fan out across a ``multiprocessing`` worker pool — and
+then reads the per-cell summaries back from the on-disk cache
+(``benchmarks/.sweep_cache/``, one JSON file per cell, keyed by a
+content hash of the machine parameters, workload sizes and simulator
+sources; see ``benchmarks/README.md``).  Re-invocations of the suite
+are incremental, Table 7 reuses Figure 5's 16-node runs, and a sweep
+survives individual cells failing.
 
 Environment knobs:
 
+``REPRO_BENCH_JOBS``
+    Worker processes for the sweep (default: CPU count; ``0`` runs
+    inline in this process).
 ``REPRO_BENCH_PRESET``
     Override the workload preset everywhere (default: ``bench`` for
     single-node matrices, ``tiny`` for >= 8-node matrices — see
@@ -16,22 +24,28 @@ Environment knobs:
 ``REPRO_BENCH_FULL=1``
     Run all six applications in the large multi-node matrices instead
     of the default representative trio (fft / lu / radix).
+``REPRO_BENCH_REFRESH=1``
+    Ignore previously cached cells (they are re-simulated and the
+    cache is rewritten in place).
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.sim.driver import run_app
+from repro.sim.sweep import ResultCache, SweepCell, run_sweep
 
-CACHE_PATH = Path(__file__).parent / ".bench_cache.json"
+CACHE_DIR = Path(__file__).parent / ".sweep_cache"
 
 ALL_APPS = ("fft", "fftw", "lu", "ocean", "radix", "water")
 TRIO = ("fft", "lu", "radix")
 MODELS = ("base", "intperfect", "int512kb", "int64kb", "smtp")
+
+CACHE = ResultCache(
+    CACHE_DIR, refresh=bool(os.environ.get("REPRO_BENCH_REFRESH"))
+)
 
 
 def apps_for_matrix() -> tuple:
@@ -47,6 +61,13 @@ def preset_for(n_nodes: int) -> str:
     return "bench" if n_nodes < 8 else "tiny"
 
 
+def sweep_jobs() -> int:
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env is not None:
+        return int(env)
+    return os.cpu_count() or 1
+
+
 class Result(dict):
     """JSON-serializable scalar summary of one run."""
 
@@ -55,35 +76,28 @@ class Result(dict):
         return self["cycles"]
 
 
-def _summarize(st) -> Result:
-    peaks = st.resource_peaks()
-    return Result(
-        cycles=st.cycles,
-        committed=st.committed,
-        memory_stall_fraction=st.memory_stall_fraction,
-        occupancy_peak=st.protocol_occupancy_peak(),
-        occupancy_mean=st.protocol_occupancy_mean(),
-        br_mispredict=st.protocol_branch_mispredict_rate(),
-        squash_fraction=st.protocol_squash_cycle_fraction(),
-        retired_share=st.retired_protocol_share(),
-        peaks={k: list(v) for k, v in peaks.items()},
-        protocol_instructions=st.protocol_instructions,
+def cell(
+    app: str,
+    model: str,
+    n_nodes: int,
+    ways: int,
+    freq_ghz: float = 2.0,
+    preset: Optional[str] = None,
+    **flags,
+) -> SweepCell:
+    return SweepCell.make(
+        app, model, n_nodes=n_nodes, ways=ways, freq_ghz=freq_ghz,
+        preset=preset or preset_for(n_nodes), **flags,
     )
 
 
-def _load_cache() -> Dict[str, dict]:
-    if os.environ.get("REPRO_BENCH_REFRESH"):
-        return {}
-    if CACHE_PATH.exists():
-        try:
-            return json.loads(CACHE_PATH.read_text())
-        except (OSError, json.JSONDecodeError):
-            return {}
-    return {}
+def prefetch(cells: List[SweepCell]) -> None:
+    """Fill the cache for ``cells``, fanning misses out over workers.
 
-
-def _store_cache(cache: Dict[str, dict]) -> None:
-    CACHE_PATH.write_text(json.dumps(cache, indent=0, sort_keys=True))
+    Failures are tolerated here — they surface as exceptions from
+    :func:`run_config` only if a bench actually reads the failed cell.
+    """
+    run_sweep(cells, jobs=sweep_jobs(), cache=CACHE, progress=print)
 
 
 def run_config(
@@ -95,33 +109,38 @@ def run_config(
     preset: Optional[str] = None,
     **flags,
 ) -> Result:
-    preset = preset or preset_for(n_nodes)
-    key = json.dumps(
-        [app, model, n_nodes, ways, freq_ghz, preset, sorted(flags.items())]
+    """One cell's summary, from cache if possible (inline run if not)."""
+    c = cell(app, model, n_nodes, ways, freq_ghz, preset, **flags)
+    result = run_sweep([c], jobs=0, cache=CACHE)[0]
+    if not result.ok:
+        raise RuntimeError(
+            f"{c.label}: {result.error_type}: {result.error}"
+        )
+    return Result(result.stats)
+
+
+def grid_results(
+    apps, models, n_nodes: int, ways: int, freq_ghz: float = 2.0,
+    preset: Optional[str] = None,
+) -> Dict[str, Dict[str, Result]]:
+    """Run an apps x models matrix in parallel; results[app][model]."""
+    prefetch(
+        [cell(a, m, n_nodes, ways, freq_ghz, preset) for a in apps for m in models]
     )
-    cache = _load_cache()
-    if key in cache:
-        return Result(cache[key])
-    st = run_app(
-        app, model, n_nodes=n_nodes, ways=ways, freq_ghz=freq_ghz,
-        preset=preset, **flags,
-    )
-    result = _summarize(st)
-    cache = _load_cache()  # re-read: parallel workers may have added keys
-    cache[key] = dict(result)
-    _store_cache(cache)
-    return result
+    return {
+        a: {m: run_config(a, m, n_nodes, ways, freq_ghz, preset) for m in models}
+        for a in apps
+    }
 
 
 def normalized_rows(
     apps, models, n_nodes: int, ways: int, freq_ghz: float = 2.0
 ) -> List[list]:
     """Figure-style rows: normalized exec time + memory-stall split."""
+    results = grid_results(apps, models, n_nodes, ways, freq_ghz)
     rows = []
     for app in apps:
-        per_model = {
-            m: run_config(app, m, n_nodes, ways, freq_ghz) for m in models
-        }
+        per_model = results[app]
         base = per_model[models[0]]["cycles"]
         row = [app]
         for m in models:
@@ -130,6 +149,49 @@ def normalized_rows(
                 f"{r['cycles'] / base:.3f} (mem {r['memory_stall_fraction']:.2f})"
             )
         rows.append(row)
+    return rows
+
+
+def speedup_results(
+    model: str, ways=(1, 2, 4), n_nodes: int = 16, preset: Optional[str] = None
+) -> Dict[str, Dict[int, float]]:
+    """Tables 5/6: self-relative speedups vs the 1-node 1-way run.
+
+    One preset for both the reference and the parallel runs — a
+    self-relative speedup must hold the problem size fixed.
+    """
+    preset = preset or os.environ.get("REPRO_BENCH_PRESET", "tiny")
+    apps = apps_for_matrix()
+    prefetch(
+        [cell(a, model, 1, 1, preset=preset) for a in apps]
+        + [cell(a, model, n_nodes, w, preset=preset) for a in apps for w in ways]
+    )
+    results = {}
+    for app in apps:
+        ref = run_config(app, model, 1, 1, preset=preset)
+        results[app] = {
+            w: ref["cycles"]
+            / run_config(app, model, n_nodes, w, preset=preset)["cycles"]
+            for w in ways
+        }
+    return results
+
+
+def figure_bench(
+    benchmark, title: str, n_nodes: int, ways: int,
+    freq_ghz: float = 2.0, all_apps: bool = False,
+) -> List[list]:
+    """The shared body of every Figure 2-11 bench."""
+    apps = ALL_APPS if all_apps else apps_for_matrix()
+    rows = benchmark.pedantic(
+        lambda: normalized_rows(apps, MODELS, n_nodes=n_nodes, ways=ways,
+                                freq_ghz=freq_ghz),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(title, rows, MODELS)
+    for problem in check_shapes(rows, MODELS):
+        print("SHAPE WARNING:", problem)
     return rows
 
 

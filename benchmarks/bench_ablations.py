@@ -7,25 +7,32 @@
   0.9-3.2% typical, 5.1% worst case).
 """
 
-from _harness import apps_for_matrix, run_config
+from _harness import apps_for_matrix, cell, prefetch, run_config
 from repro.sim.report import format_table
 
 NODES, WAYS = 2, 1
 
 
-def _delta(app, **flags):
-    ref = run_config(app, "smtp", NODES, WAYS)["cycles"]
-    var = run_config(app, "smtp", NODES, WAYS, **flags)["cycles"]
-    return (var / ref - 1) * 100
+def _deltas(**flags):
+    """Percent slowdown of the flagged SMTp variant vs the reference,
+    per application; reference and variant cells are prefetched in one
+    parallel sweep (the reference is shared by all three ablations)."""
+    apps = apps_for_matrix()
+    prefetch(
+        [cell(app, "smtp", NODES, WAYS) for app in apps]
+        + [cell(app, "smtp", NODES, WAYS, **flags) for app in apps]
+    )
+    out = {}
+    for app in apps:
+        ref = run_config(app, "smtp", NODES, WAYS)["cycles"]
+        var = run_config(app, "smtp", NODES, WAYS, **flags)["cycles"]
+        out[app] = (var / ref - 1) * 100
+    return out
 
 
 def test_ablation_las(benchmark):
     deltas = benchmark.pedantic(
-        lambda: {
-            app: _delta(app, look_ahead_scheduling=False)
-            for app in apps_for_matrix()
-        },
-        rounds=1, iterations=1,
+        lambda: _deltas(look_ahead_scheduling=False), rounds=1, iterations=1,
     )
     print("\n=== Ablation: Look-Ahead Scheduling disabled ===")
     print("(positive = slower without LAS; paper: LAS helps up to 3.9%)")
@@ -35,10 +42,7 @@ def test_ablation_las(benchmark):
 
 def test_ablation_bitops(benchmark):
     deltas = benchmark.pedantic(
-        lambda: {
-            app: _delta(app, protocol_bitops=False) for app in apps_for_matrix()
-        },
-        rounds=1, iterations=1,
+        lambda: _deltas(protocol_bitops=False), rounds=1, iterations=1,
     )
     print("\n=== Ablation: popcount/ctz as software loops ===")
     print("(paper: <0.3% average, <=0.8% worst case)")
@@ -48,11 +52,7 @@ def test_ablation_bitops(benchmark):
 
 def test_ablation_perfect_protocol_caches(benchmark):
     deltas = benchmark.pedantic(
-        lambda: {
-            app: _delta(app, perfect_protocol_caches=True)
-            for app in apps_for_matrix()
-        },
-        rounds=1, iterations=1,
+        lambda: _deltas(perfect_protocol_caches=True), rounds=1, iterations=1,
     )
     print("\n=== Ablation: private perfect protocol caches ===")
     print("(negative = faster with perfect caches; paper: 0.9-5.1%)")

@@ -1,26 +1,15 @@
 """Figure 2: single node, 1-way
 
 Five machine models on a single-node machine with one application thread.
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    ALL_APPS,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig02_single_node_1way(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(ALL_APPS, MODELS, n_nodes=1, ways=1),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 2: single node, 1-way", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 2: single node, 1-way", n_nodes=1, ways=1, all_apps=True)

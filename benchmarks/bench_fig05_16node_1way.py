@@ -1,26 +1,15 @@
 """Figure 5: 16 nodes, 1-way
 
-Five machine models across a 16-node DSM, one application thread per node.
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+The 16-node matrix with one application thread per node.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    apps_for_matrix,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig05_16node_1way(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=16, ways=1),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 5: 16 nodes, 1-way", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 5: 16 nodes, 1-way", n_nodes=16, ways=1)

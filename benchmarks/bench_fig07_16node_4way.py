@@ -1,26 +1,15 @@
 """Figure 7: 16 nodes, 4-way (64 threads)
 
-Five machine models across a 16-node DSM, four application threads per node.
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+The 16-node matrix with four application threads per node.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    apps_for_matrix,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig07_16node_4way(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=16, ways=4),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 7: 16 nodes, 4-way (64 threads)", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 7: 16 nodes, 4-way (64 threads)", n_nodes=16, ways=4)

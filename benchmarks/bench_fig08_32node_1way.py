@@ -1,26 +1,16 @@
 """Figure 8: 32 nodes, 1-way
 
-Five machine models across a 32-node DSM (64-bit directory entries).
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+The 32-node matrix (64-bit directory entries) with one application
+thread per node.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    apps_for_matrix,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig08_32node_1way(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=32, ways=1),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 8: 32 nodes, 1-way", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 8: 32 nodes, 1-way", n_nodes=32, ways=1)

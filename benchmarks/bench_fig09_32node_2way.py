@@ -1,26 +1,15 @@
 """Figure 9: 32 nodes, 2-way (64 threads)
 
-Five machine models across a 32-node DSM, two application threads per node.
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+The 32-node matrix with two application threads per node.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    apps_for_matrix,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig09_32node_2way(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=32, ways=2),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 9: 32 nodes, 2-way (64 threads)", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 9: 32 nodes, 2-way (64 threads)", n_nodes=32, ways=2)

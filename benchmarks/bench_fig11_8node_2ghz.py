@@ -1,26 +1,15 @@
 """Figure 11: 8 nodes, 1-way, 2 GHz
 
-Clock-scaling companion: the same 8-node matrix at 2 GHz.
-Regenerates the figure's series: for every machine model and
-application, the execution time normalized to Base with the
-memory-stall fraction — the textual form of the paper's stacked bars.
+Clock-scaling companion: the 8-node matrix at the default 2 GHz.
+The whole (model x app) grid is prefetched through the parallel sweep
+runner before the rows are formatted; regenerates the figure's series —
+for every machine model and application, the execution time normalized
+to Base with the memory-stall fraction — the textual form of the
+paper's stacked bars.
 """
 
-from _harness import (
-    apps_for_matrix,
-    MODELS,
-    check_shapes,
-    normalized_rows,
-    print_figure,
-)
+from _harness import figure_bench
 
 
 def test_fig11_8node_2ghz(benchmark):
-    rows = benchmark.pedantic(
-        lambda: normalized_rows(apps_for_matrix(), MODELS, n_nodes=8, ways=1, freq_ghz=2.0),
-        rounds=1,
-        iterations=1,
-    )
-    print_figure("Figure 11: 8 nodes, 1-way, 2 GHz", rows, MODELS)
-    for problem in check_shapes(rows, MODELS):
-        print("SHAPE WARNING:", problem)
+    figure_bench(benchmark, "Figure 11: 8 nodes, 1-way, 2 GHz", n_nodes=8, ways=1, freq_ghz=2.0)

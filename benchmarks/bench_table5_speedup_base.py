@@ -2,7 +2,8 @@
 
 For each application: run single-node 1-way as the reference, then
 16 nodes at 1/2/4 application threads per node, and print
-``reference_cycles / parallel_cycles`` exactly as Table 5 does.
+``reference_cycles / parallel_cycles`` exactly as Table 5 does.  The
+reference and parallel cells are prefetched in one parallel sweep.
 
 At ~100x-scaled problem sizes the communication-to-computation ratio
 is far harsher than the paper's, so absolute speedups are compressed
@@ -10,31 +11,15 @@ is far harsher than the paper's, so absolute speedups are compressed
 2-way trend are the comparable shapes.
 """
 
-import os
-
-from _harness import apps_for_matrix, run_config
+from _harness import speedup_results
 from repro.sim.report import speedup_table
 
-MODEL = "base"
 WAYS = (1, 2, 4)
-# One preset for both the single-node reference and the 16-node runs —
-# a self-relative speedup must hold the problem size fixed.
-PRESET = os.environ.get("REPRO_BENCH_PRESET", "tiny")
-
-
-def speedups(model):
-    results = {}
-    for app in apps_for_matrix():
-        ref = run_config(app, model, n_nodes=1, ways=1, preset=PRESET)
-        results[app] = {
-            w: ref["cycles"]
-            / run_config(app, model, n_nodes=16, ways=w, preset=PRESET)["cycles"]
-            for w in WAYS
-        }
-    return results
 
 
 def test_table5_speedup_base(benchmark):
-    results = benchmark.pedantic(lambda: speedups(MODEL), rounds=1, iterations=1)
-    print(f"\n=== Table 5: 16-node speedup in Base ===")
+    results = benchmark.pedantic(
+        lambda: speedup_results("base", ways=WAYS), rounds=1, iterations=1
+    )
+    print("\n=== Table 5: 16-node speedup in Base ===")
     print(speedup_table(results, WAYS))

@@ -6,11 +6,14 @@ track Base's closely (self-relative numbers are not a cross-model
 comparison), and 2-way generally beats 1-way.
 """
 
-from bench_table5_speedup_base import WAYS, speedups
+from _harness import speedup_results
+from bench_table5_speedup_base import WAYS
 from repro.sim.report import speedup_table
 
 
 def test_table6_speedup_smtp(benchmark):
-    results = benchmark.pedantic(lambda: speedups("smtp"), rounds=1, iterations=1)
-    print(f"\n=== Table 6: 16-node speedup in SMTp ===")
+    results = benchmark.pedantic(
+        lambda: speedup_results("smtp", ways=WAYS), rounds=1, iterations=1
+    )
+    print("\n=== Table 6: 16-node speedup in SMTp ===")
     print(speedup_table(results, WAYS))

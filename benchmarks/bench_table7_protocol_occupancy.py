@@ -2,25 +2,25 @@
 
 For Base / IntPerfect / Int512KB / SMTp: the busiest node's protocol
 engine (or protocol thread) activity as a percentage of execution
-time.  Expected shape (the paper's): Base >> Int512KB >= SMTp >
+time.  The four-model grid is prefetched in one parallel sweep and —
+thanks to content-addressed caching — shares its 16-node runs with
+Figures 5-7.  Expected shape (the paper's): Base >> Int512KB >= SMTp >
 IntPerfect, and memory-intensive applications (fft, radix) far above
 compute-intensive ones (lu, water).
 """
 
-from _harness import apps_for_matrix, run_config
+from _harness import apps_for_matrix, grid_results
 from repro.sim.report import format_table
 
 MODELS = ("base", "intperfect", "int512kb", "smtp")
 
 
 def occupancies():
-    out = {}
-    for app in apps_for_matrix():
-        out[app] = {
-            m: run_config(app, m, n_nodes=16, ways=1)["occupancy_peak"]
-            for m in MODELS
-        }
-    return out
+    results = grid_results(apps_for_matrix(), MODELS, n_nodes=16, ways=1)
+    return {
+        app: {m: per[m]["occupancy_peak"] for m in MODELS}
+        for app, per in results.items()
+    }
 
 
 def test_table7_protocol_occupancy(benchmark):

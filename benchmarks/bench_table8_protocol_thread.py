@@ -12,15 +12,13 @@ paper's 0.2-8% because the scaled workloads execute ~100x fewer
 application instructions per miss (EXPERIMENTS.md).
 """
 
-from _harness import apps_for_matrix, run_config
+from _harness import apps_for_matrix, grid_results
 from repro.sim.report import format_table
 
 
 def characteristics():
-    out = {}
-    for app in apps_for_matrix():
-        out[app] = run_config(app, "smtp", n_nodes=16, ways=1)
-    return out
+    results = grid_results(apps_for_matrix(), ("smtp",), n_nodes=16, ways=1)
+    return {app: per["smtp"] for app, per in results.items()}
 
 
 def test_table8_protocol_thread(benchmark):

@@ -8,17 +8,15 @@ protocol thread's *peak* footprint is large (e.g. all 32 IQ entries)
 even though its time-average activity is tiny — should reproduce.
 """
 
-from _harness import apps_for_matrix, run_config
+from _harness import apps_for_matrix, grid_results
 from repro.sim.report import format_table
 
 RESOURCES = ("branch_stack", "int_regs", "int_queue", "lsq")
 
 
 def peaks():
-    out = {}
-    for app in apps_for_matrix():
-        out[app] = run_config(app, "smtp", n_nodes=16, ways=1)["peaks"]
-    return out
+    results = grid_results(apps_for_matrix(), ("smtp",), n_nodes=16, ways=1)
+    return {app: per["smtp"]["peaks"] for app, per in results.items()}
 
 
 def test_table9_resource_occupancy(benchmark):

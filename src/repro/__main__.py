@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``       simulate one workload on one machine model
+``sweep``     run a grid of configurations in parallel, with caching
 ``models``    list the five Table 4 machine models
 ``apps``      list workloads and their preset sizes
 ``handlers``  disassemble the coherence protocol handlers
@@ -38,6 +39,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
             mix = dict(sorted(node.protocol.handlers_by_type.items()))
             print(f"  node {node.node}: {mix}")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sim.sweep import (
+        NAMED_GRIDS,
+        ResultCache,
+        make_grid,
+        run_sweep,
+        write_bench_json,
+    )
+
+    if args.list_grids:
+        for name, builder in sorted(NAMED_GRIDS.items()):
+            print(f"{name}: {len(builder())} cells")
+        return 0
+
+    from repro.common.errors import ConfigError
+
+    try:
+        if args.grid:
+            cells = NAMED_GRIDS[args.grid]()
+            name = args.name or args.grid
+        else:
+            cells = make_grid(
+                args.apps.split(","),
+                args.models.split(","),
+                nodes=[int(n) for n in args.nodes.split(",")],
+                ways=[int(w) for w in args.ways.split(",")],
+                freq_ghz=args.freq,
+                preset=args.preset,
+            )
+            name = args.name or "sweep"
+        for c in cells:
+            c.cache_key()  # resolves params: rejects bad app/model/preset
+    except (KeyError, ValueError, ConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    import os
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    cache = ResultCache(args.cache_dir, refresh=args.refresh)
+    t0 = time.perf_counter()
+    results = run_sweep(
+        cells,
+        jobs=jobs,
+        cache=cache,
+        timeout=args.timeout or None,
+        retries=args.retries,
+        progress=print,
+    )
+    wall = time.perf_counter() - t0
+
+    rows = [
+        [
+            r.cell.app, r.cell.model, r.cell.n_nodes, r.cell.ways,
+            r.cell.preset, r.status + (" (cached)" if r.cached else ""),
+            r.stats["cycles"] if r.ok else (r.error_type or "-"),
+        ]
+        for r in results
+    ]
+    print()
+    print(format_table(
+        ["app", "model", "nodes", "ways", "preset", "status", "cycles"], rows
+    ))
+    path = write_bench_json(args.out, name, results, jobs=jobs,
+                            wall_clock_s=wall)
+    print(f"\nwrote {path}")
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -112,6 +184,40 @@ def main(argv=None) -> int:
                        help="run the coherence invariant checker")
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(fn=_cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a configuration grid in parallel with result caching",
+    )
+    sweep_p.add_argument("--grid", choices=("smoke", "fig2"),
+                         help="a named grid (overrides the axis options)")
+    sweep_p.add_argument("--list-grids", action="store_true",
+                         help="list named grids and exit")
+    sweep_p.add_argument("--apps", default=",".join(APPS),
+                         help="comma-separated workloads")
+    sweep_p.add_argument("--models", default=",".join(MODELS),
+                         help="comma-separated machine models")
+    sweep_p.add_argument("--nodes", default="1",
+                         help="comma-separated node counts")
+    sweep_p.add_argument("--ways", default="1",
+                         help="comma-separated threads-per-node")
+    sweep_p.add_argument("--freq", type=float, default=2.0, help="GHz")
+    sweep_p.add_argument("--preset", choices=tuple(PRESETS), default="bench")
+    sweep_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (0 = inline; default: CPUs)")
+    sweep_p.add_argument("--cache-dir", default=".sweep_cache",
+                         help="result cache directory")
+    sweep_p.add_argument("--timeout", type=float, default=0,
+                         help="seconds per cell (0 = unlimited)")
+    sweep_p.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for timed-out/crashed cells")
+    sweep_p.add_argument("--refresh", action="store_true",
+                         help="ignore cached results (they are rewritten)")
+    sweep_p.add_argument("--out", default=".",
+                         help="directory for the BENCH_<name>.json report")
+    sweep_p.add_argument("--name", default=None,
+                         help="report name (default: grid name or 'sweep')")
+    sweep_p.set_defaults(fn=_cmd_sweep)
 
     sub.add_parser("models", help="list machine models").set_defaults(fn=_cmd_models)
     sub.add_parser("apps", help="list workloads/presets").set_defaults(fn=_cmd_apps)

@@ -56,6 +56,13 @@ class Machine:
             self.checker = CoherenceChecker()
             self.checker.attach(self)
         self._progress_cycle = 0
+        # Per-cycle hot-path caches: the node list never changes after
+        # construction, and mc_divisor/watchdog_cycles are frozen
+        # dataclass properties (recomputed on every access otherwise).
+        self._mcs = [node.mc for node in self.nodes]
+        self._cores: List = []
+        self._mc_divisor = mp.mc_divisor
+        self._watchdog = mp.watchdog_cycles
 
     # ------------------------------------------------------------------
     def install_cores(self, sources_per_node: List[list]) -> None:
@@ -74,6 +81,7 @@ class Machine:
                 node.mc.engine = SMTpPort(
                     proto, self.mp.proc.look_ahead_scheduling
                 )
+        self._cores = [n.core for n in self.nodes if n.core is not None]
 
     def finish(self) -> None:
         """Post-run bookkeeping: peaks, busy-time sampling."""
@@ -87,29 +95,34 @@ class Machine:
         self._progress_cycle = self.cycle
 
     def step(self) -> None:
-        self.cycle += 1
-        fired = self.wheel.tick(self.cycle)
-        if fired:
-            self._progress_cycle = self.cycle
-        if self.cycle % self.mp.mc_divisor == 0:
-            for node in self.nodes:
-                node.mc.step()
-        for node in self.nodes:
-            if node.core is not None:
-                node.core.step()
-        if self.cycle - self._progress_cycle > self.mp.watchdog_cycles:
+        self.cycle = cycle = self.cycle + 1
+        wheel = self.wheel
+        # Fast path: nothing due this cycle.  tick() would do the same
+        # comparison, but skipping the call (and its per-cycle
+        # bookkeeping) matters at ~50k cycles per simulated run.
+        if wheel._heap and wheel._heap[0][0] <= cycle:
+            if wheel.tick(cycle):
+                self._progress_cycle = cycle
+        else:
+            wheel.now = cycle
+        if cycle % self._mc_divisor == 0:
+            for mc in self._mcs:
+                mc.step()
+        for core in self._cores:
+            core.step()
+        if cycle - self._progress_cycle > self._watchdog:
             raise DeadlockError(self._deadlock_report())
 
     def run(self, max_cycles: int) -> None:
+        step = self.step
+        all_done = self.all_done
         for _ in range(max_cycles):
-            if self.all_done():
+            if all_done():
                 return
-            self.step()
+            step()
 
     def all_done(self) -> bool:
-        return all(
-            node.core is None or node.core.done for node in self.nodes
-        )
+        return all(core.done for core in self._cores)
 
     def quiesce(self, max_cycles: int = 2_000_000) -> None:
         """Run until every in-flight transaction has drained."""

@@ -72,6 +72,11 @@ class Uop:
         "ctx",
         "on_value",
         "protocol",
+        # kind predicates, precomputed (issue/commit hot path)
+        "is_memory",
+        "is_branch",
+        "commit_stage",
+        "is_fp",
         # dynamic (pipeline state)
         "seq",
         "psrcs",
@@ -129,6 +134,14 @@ class Uop:
         self.on_value = on_value
         self.protocol = protocol
 
+        # ``kind`` never changes after construction, so the class
+        # predicates are paid once here instead of on every pipeline
+        # stage's query.
+        self.is_memory = kind in MEMORY_KINDS
+        self.is_branch = kind in BRANCH_KINDS
+        self.commit_stage = kind in COMMIT_STAGE_KINDS
+        self.is_fp = kind is UopKind.FALU or kind is UopKind.FDIV
+
         self.seq = 0
         self.psrcs: Tuple[int, ...] = ()
         self.pdest = -1
@@ -144,22 +157,6 @@ class Uop:
         self.in_lsq = False
         self.in_sb = False
         self.result_value = 0
-
-    @property
-    def is_memory(self) -> bool:
-        return self.kind in MEMORY_KINDS
-
-    @property
-    def is_branch(self) -> bool:
-        return self.kind in BRANCH_KINDS
-
-    @property
-    def commit_stage(self) -> bool:
-        return self.kind in COMMIT_STAGE_KINDS
-
-    @property
-    def is_fp(self) -> bool:
-        return self.kind in (UopKind.FALU, UopKind.FDIV)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -101,8 +101,15 @@ class RenameUnit:
         return self.int_ready[preg]
 
     def all_ready(self, uop: Uop) -> bool:
+        # Issue-stage hot path: called for every waiting uop every
+        # cycle, so the per-register is_ready() call is inlined.
+        int_ready = self.int_ready
+        fp_ready = self.fp_ready
         for p in uop.psrcs:
-            if not self.is_ready(p):
+            if p >= (1 << 20):
+                if not fp_ready[p - (1 << 20)]:
+                    return False
+            elif not int_ready[p]:
                 return False
         return True
 

@@ -1,16 +1,32 @@
-"""Experiment harness: driver, presets, report rendering."""
+"""Experiment harness: driver, presets, sweeps, report rendering."""
 
 from repro.sim.driver import build_machine, run_app, run_machine
 from repro.sim.experiments import APPS, PAPER_SIZES, PRESETS, preset_sizes
+from repro.sim.sweep import (
+    NAMED_GRIDS,
+    CellResult,
+    ResultCache,
+    SweepCell,
+    make_grid,
+    run_sweep,
+    write_bench_json,
+)
 from repro.sim.trace import ProtocolTracer
 
 __all__ = [
     "APPS",
+    "CellResult",
+    "NAMED_GRIDS",
     "PAPER_SIZES",
     "PRESETS",
     "ProtocolTracer",
+    "ResultCache",
+    "SweepCell",
     "build_machine",
+    "make_grid",
     "preset_sizes",
     "run_app",
     "run_machine",
+    "run_sweep",
+    "write_bench_json",
 ]

@@ -1,0 +1,589 @@
+"""Parallel experiment sweeps with on-disk result caching.
+
+Every paper table/figure is a grid of fully independent simulations:
+(model, app, n_nodes, ways, freq, preset) cells that share nothing but
+code.  This module fans such grids out across a ``multiprocessing``
+worker pool and memoizes each cell on disk, so
+
+* a re-run of any bench (or of the whole suite) only simulates cells
+  whose inputs changed,
+* a sweep that died half-way resumes from the completed cells,
+* one misbehaving cell (``DeadlockError``, timeout, crash) degrades to
+  a recorded failure row instead of killing the sweep.
+
+Cache keys are content hashes over everything that determines a cell's
+statistics: the fully-resolved :class:`~repro.common.params.MachineParams`
+(so *any* model knob invalidates), the workload's preset sizes, the
+cycle budget, and a version hash of the ``repro`` package sources (so a
+simulator change invalidates every cell).  See ``benchmarks/README.md``
+for the operational view.
+
+Entry points:
+
+* :func:`run_sweep` — run a list of :class:`SweepCell`\\ s.
+* :func:`make_grid` / :data:`NAMED_GRIDS` — build cell lists.
+* :class:`ResultCache` — the on-disk cell store.
+* :func:`write_bench_json` — emit a machine-readable ``BENCH_*.json``
+  trajectory file for a finished sweep.
+
+``python -m repro sweep`` wraps all of this on the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+
+#: Bump when the result-record layout changes (invalidates every cell).
+SCHEMA_VERSION = 1
+
+DEFAULT_MAX_CYCLES = 30_000_000
+
+# ----------------------------------------------------------------------
+# Code version: a stable hash of the simulator sources.
+# ----------------------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (computed once per process).
+
+    Included in every cache key so a simulator change — however small —
+    invalidates all cached cells; stale results can never leak across
+    commits.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+# ----------------------------------------------------------------------
+# Cells and result rows
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of an experiment grid.
+
+    ``flags`` holds extra :func:`repro.core.models.make_machine_params`
+    keyword arguments (ablation switches, watchdog overrides, …) as a
+    sorted tuple of ``(name, value)`` pairs so cells stay hashable.
+    """
+
+    app: str
+    model: str
+    n_nodes: int = 1
+    ways: int = 1
+    freq_ghz: float = 2.0
+    preset: str = "bench"
+    flags: Tuple[Tuple[str, object], ...] = ()
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    @classmethod
+    def make(
+        cls,
+        app: str,
+        model: str,
+        n_nodes: int = 1,
+        ways: int = 1,
+        freq_ghz: float = 2.0,
+        preset: str = "bench",
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        **flags,
+    ) -> "SweepCell":
+        return cls(
+            app=app,
+            model=model,
+            n_nodes=n_nodes,
+            ways=ways,
+            freq_ghz=freq_ghz,
+            preset=preset,
+            flags=tuple(sorted(flags.items())),
+            max_cycles=max_cycles,
+        )
+
+    @property
+    def label(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.flags)
+        return (
+            f"{self.app}/{self.model} n={self.n_nodes} w={self.ways} "
+            f"{self.freq_ghz:g}GHz {self.preset}{extra}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        d = dataclasses.asdict(self)
+        d["flags"] = dict(self.flags)
+        return d
+
+    # -- cache identity ------------------------------------------------
+
+    def _key_payload(self) -> Dict[str, object]:
+        from repro.core.models import make_machine_params
+        from repro.sim.experiments import preset_sizes
+
+        mp = make_machine_params(
+            self.model,
+            self.n_nodes,
+            self.ways,
+            self.freq_ghz,
+            **dict(self.flags),
+        )
+        return {
+            "schema": SCHEMA_VERSION,
+            "code": code_version(),
+            "app": self.app,
+            "sizes": preset_sizes(self.app, self.preset),
+            "machine": dataclasses.asdict(mp),
+            "max_cycles": self.max_cycles,
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash of everything that determines the stats."""
+        blob = json.dumps(self._key_payload(), sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def summarize_stats(st) -> Dict[str, object]:
+    """JSON-serializable scalar summary of one run's MachineStats.
+
+    This is the per-cell record every bench and ``BENCH_*.json`` file
+    consumes; it is the *only* thing the cache stores.
+    """
+    peaks = st.resource_peaks()
+    return dict(
+        cycles=st.cycles,
+        committed=st.committed,
+        memory_stall_fraction=st.memory_stall_fraction,
+        occupancy_peak=st.protocol_occupancy_peak(),
+        occupancy_mean=st.protocol_occupancy_mean(),
+        br_mispredict=st.protocol_branch_mispredict_rate(),
+        squash_fraction=st.protocol_squash_cycle_fraction(),
+        retired_share=st.retired_protocol_share(),
+        peaks={k: list(v) for k, v in peaks.items()},
+        protocol_instructions=st.protocol_instructions,
+    )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a stats row or a recorded failure."""
+
+    cell: SweepCell
+    status: str  # "ok" | "failed" | "timeout" | "crashed"
+    stats: Optional[Dict[str, object]] = None
+    error: str = ""
+    error_type: str = ""
+    elapsed_s: float = 0.0
+    cached: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        d = self.cell.to_dict()
+        d.update(
+            status=self.status,
+            stats=self.stats,
+            error=self.error,
+            error_type=self.error_type,
+            elapsed_s=round(self.elapsed_s, 3),
+            cached=self.cached,
+            attempts=self.attempts,
+        )
+        return d
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """One JSON file per cell, named by the cell's cache key.
+
+    Only successful runs are stored — failures and timeouts are always
+    re-attempted on the next sweep.  ``refresh=True`` ignores results
+    from previous processes but still reuses (and rewrites) cells
+    computed under this cache object, so a refreshed suite stays
+    incremental within itself.
+    """
+
+    def __init__(self, root, refresh: bool = False) -> None:
+        self.root = Path(root)
+        self.refresh = refresh
+        self._written: set = set()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        if self.refresh and key not in self._written:
+            return None
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record.get("stats")
+
+    def put(self, key: str, result: CellResult) -> None:
+        if not result.ok:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "cell": result.cell.to_dict(),
+            "stats": result.stats,
+            "elapsed_s": round(result.elapsed_s, 3),
+        }
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(tmp, self._path(key))  # atomic under concurrent sweeps
+        self._written.add(key)
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Run one cell in the current process, degrading errors to rows."""
+    from repro.sim.driver import run_app
+
+    start = time.perf_counter()
+    try:
+        st = run_app(
+            cell.app,
+            cell.model,
+            n_nodes=cell.n_nodes,
+            ways=cell.ways,
+            freq_ghz=cell.freq_ghz,
+            preset=cell.preset,
+            max_cycles=cell.max_cycles,
+            **dict(cell.flags),
+        )
+    except SimulationError as exc:
+        return CellResult(
+            cell,
+            "failed",
+            error=str(exc).splitlines()[0][:500],
+            error_type=type(exc).__name__,
+            elapsed_s=time.perf_counter() - start,
+        )
+    return CellResult(
+        cell, "ok", stats=summarize_stats(st),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _worker(conn, cell: SweepCell) -> None:
+    """Subprocess entry: run the cell, ship the result over the pipe."""
+    result = run_cell(cell)
+    try:
+        conn.send(
+            {
+                "status": result.status,
+                "stats": result.stats,
+                "error": result.error,
+                "error_type": result.error_type,
+                "elapsed_s": result.elapsed_s,
+            }
+        )
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# The sweep scheduler
+# ----------------------------------------------------------------------
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CellResult]:
+    """Run every cell; return one :class:`CellResult` per input cell,
+    in input order (duplicates are simulated once).
+
+    ``jobs``
+        Worker processes.  ``0`` runs inline in the current process
+        (deterministic single-process mode; ``timeout`` is not
+        enforced inline).  ``None`` uses ``os.cpu_count()``.
+    ``timeout``
+        Wall-clock seconds per cell attempt; an overdue worker is
+        terminated and the cell recorded as ``"timeout"``.
+    ``retries``
+        Extra attempts for *timeout/crash* cells.  Simulation errors
+        (``DeadlockError`` etc.) are deterministic and never retried.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    t0 = time.perf_counter()
+    results: Dict[str, CellResult] = {}
+    order: List[str] = []
+    unique: Dict[str, SweepCell] = {}
+    for cell in cells:
+        key = cell.cache_key()
+        order.append(key)
+        unique.setdefault(key, cell)
+
+    note = progress or (lambda msg: None)
+    total = len(unique)
+    done = 0
+    miss_elapsed: List[float] = []
+
+    def finish(key: str, result: CellResult) -> None:
+        nonlocal done
+        results[key] = result
+        done += 1
+        if cache is not None and not result.cached:
+            cache.put(key, result)
+        if not result.cached:
+            miss_elapsed.append(result.elapsed_s)
+        eta = ""
+        if miss_elapsed and done < total:
+            per_cell = sum(miss_elapsed) / len(miss_elapsed)
+            remaining = per_cell * (total - done) / max(1, jobs or 1)
+            eta = f"  eta ~{remaining:.0f}s"
+        tag = "cached" if result.cached else result.status
+        note(
+            f"[{done}/{total}] {result.cell.label}: {tag}"
+            f" ({result.elapsed_s:.2f}s){eta}"
+        )
+
+    # Cache pass.
+    pending: List[Tuple[str, SweepCell]] = []
+    for key, cell in unique.items():
+        stats = cache.get(key) if cache is not None else None
+        if stats is not None:
+            finish(key, CellResult(cell, "ok", stats=stats, cached=True))
+        else:
+            pending.append((key, cell))
+
+    if jobs <= 0:
+        for key, cell in pending:
+            finish(key, run_cell(cell))
+    elif pending:
+        _run_pool(pending, jobs, timeout, retries, finish)
+
+    wall = time.perf_counter() - t0
+    note(
+        f"sweep: {total} cells ({total - len(pending)} cached, "
+        f"{sum(1 for r in results.values() if not r.ok)} failed) "
+        f"in {wall:.1f}s"
+    )
+    return [results[key] for key in order]
+
+
+def _run_pool(
+    pending: List[Tuple[str, SweepCell]],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    finish: Callable[[str, CellResult], None],
+) -> None:
+    """Fan pending cells out over one subprocess per in-flight cell.
+
+    One process per cell (not a long-lived pool) so an overdue or
+    wedged simulation can be ``terminate()``-d without poisoning other
+    cells' workers.  Cell runtimes are seconds-to-minutes, so the
+    spawn cost is noise.
+    """
+    ctx = multiprocessing.get_context()
+    queue: List[Tuple[str, SweepCell, int]] = [
+        (key, cell, 1) for key, cell in pending
+    ]
+    running: Dict[object, Tuple[str, SweepCell, object, float, int]] = {}
+
+    def harvest(proc, key, cell, conn, start, attempt) -> None:
+        elapsed = time.perf_counter() - start
+        if conn.poll():
+            msg = conn.recv()
+            proc.join()
+            conn.close()
+            finish(
+                key,
+                CellResult(
+                    cell,
+                    msg["status"],
+                    stats=msg["stats"],
+                    error=msg["error"],
+                    error_type=msg["error_type"],
+                    elapsed_s=msg["elapsed_s"],
+                    attempts=attempt,
+                ),
+            )
+            return
+        # No result: the worker crashed or was killed.
+        proc.join()
+        conn.close()
+        if attempt <= retries:
+            queue.append((key, cell, attempt + 1))
+            return
+        finish(
+            key,
+            CellResult(
+                cell,
+                "crashed",
+                error=f"worker exited with code {proc.exitcode} and no result",
+                error_type="WorkerCrash",
+                elapsed_s=elapsed,
+                attempts=attempt,
+            ),
+        )
+
+    while queue or running:
+        while queue and len(running) < jobs:
+            key, cell, attempt = queue.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker, args=(child_conn, cell))
+            proc.start()
+            child_conn.close()
+            running[proc] = (key, cell, parent_conn, time.perf_counter(), attempt)
+
+        now = time.perf_counter()
+        finished = []
+        overdue = []
+        for proc, (key, cell, conn, start, attempt) in running.items():
+            if conn.poll() or not proc.is_alive():
+                finished.append(proc)
+            elif timeout is not None and now - start > timeout:
+                overdue.append(proc)
+        for proc in overdue:
+            key, cell, conn, start, attempt = running.pop(proc)
+            proc.terminate()
+            proc.join()
+            conn.close()
+            if attempt <= retries:
+                queue.append((key, cell, attempt + 1))
+            else:
+                finish(
+                    key,
+                    CellResult(
+                        cell,
+                        "timeout",
+                        error=f"cell exceeded {timeout:g}s wall clock",
+                        error_type="SweepTimeout",
+                        elapsed_s=now - start,
+                        attempts=attempt,
+                    ),
+                )
+        for proc in finished:
+            key, cell, conn, start, attempt = running.pop(proc)
+            harvest(proc, key, cell, conn, start, attempt)
+        if running and not finished and not overdue:
+            time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# Grids
+# ----------------------------------------------------------------------
+
+
+def make_grid(
+    apps: Iterable[str],
+    models: Iterable[str],
+    nodes: Iterable[int] = (1,),
+    ways: Iterable[int] = (1,),
+    freq_ghz: float = 2.0,
+    preset: str = "bench",
+    **flags,
+) -> List[SweepCell]:
+    """Cartesian product grid, in deterministic iteration order."""
+    return [
+        SweepCell.make(
+            app, model, n_nodes=n, ways=w, freq_ghz=freq_ghz,
+            preset=preset, **flags,
+        )
+        for app in apps
+        for model in models
+        for n in nodes
+        for w in ways
+    ]
+
+
+def _grid_smoke() -> List[SweepCell]:
+    # 2 apps x 2 models at tiny sizes: a CI-sized sweep (seconds).
+    return make_grid(("water", "fft"), ("base", "smtp"), preset="tiny")
+
+
+def _grid_fig2() -> List[SweepCell]:
+    from repro.core.models import MODELS
+    from repro.sim.experiments import APPS
+
+    return make_grid(APPS, MODELS, preset="bench")
+
+
+#: Named grids for ``python -m repro sweep --grid <name>``.
+NAMED_GRIDS: Dict[str, Callable[[], List[SweepCell]]] = {
+    "smoke": _grid_smoke,
+    "fig2": _grid_fig2,
+}
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json trajectory files
+# ----------------------------------------------------------------------
+
+
+def write_bench_json(
+    out_dir,
+    name: str,
+    results: Sequence[CellResult],
+    jobs: int,
+    wall_clock_s: float,
+) -> Path:
+    """Write ``BENCH_<name>.json`` summarizing a finished sweep.
+
+    The file is the machine-readable perf trajectory: one record per
+    cell (status, cycles, elapsed seconds, cache provenance) plus
+    sweep-level metadata, so successive commits' files can be diffed
+    or plotted directly.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "code_version": code_version(),
+        "jobs": jobs,
+        "wall_clock_s": round(wall_clock_s, 3),
+        "n_cells": len(results),
+        "n_ok": sum(1 for r in results if r.ok),
+        "n_failed": sum(1 for r in results if not r.ok),
+        "n_cached": sum(1 for r in results if r.cached),
+        "sim_seconds_total": round(sum(r.elapsed_s for r in results), 3),
+        "cells": [r.to_dict() for r in results],
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    os.replace(tmp, path)
+    return path

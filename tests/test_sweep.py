@@ -1,0 +1,225 @@
+"""The parallel sweep runner: cache keys, worker pool, degradation.
+
+Cells here use the ``tiny`` preset on 1-node machines so every real
+simulation finishes in well under a second.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import sweep as sweep_mod
+from repro.sim.sweep import (
+    CellResult,
+    ResultCache,
+    SweepCell,
+    code_version,
+    make_grid,
+    run_sweep,
+    write_bench_json,
+)
+
+FAST = dict(preset="tiny")
+
+
+def fast_cell(app="water", model="smtp", **kw):
+    kw = {**FAST, **kw}
+    return SweepCell.make(app, model, **kw)
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert fast_cell().cache_key() == fast_cell().cache_key()
+
+    def test_every_axis_changes_the_key(self):
+        base = fast_cell().cache_key()
+        assert fast_cell(app="fft").cache_key() != base
+        assert fast_cell(model="base").cache_key() != base
+        assert fast_cell(n_nodes=2).cache_key() != base
+        assert fast_cell(ways=2).cache_key() != base
+        assert fast_cell(freq_ghz=4.0).cache_key() != base
+        assert fast_cell(preset="bench").cache_key() != base
+        assert fast_cell(max_cycles=1_000).cache_key() != base
+
+    def test_model_flags_change_the_key(self):
+        base = fast_cell().cache_key()
+        assert fast_cell(look_ahead_scheduling=False).cache_key() != base
+        assert fast_cell(protocol_bitops=False).cache_key() != base
+
+    def test_code_version_changes_the_key(self, monkeypatch):
+        base = fast_cell().cache_key()
+        monkeypatch.setattr(sweep_mod, "_CODE_VERSION", "deadbeef00000000")
+        assert fast_cell().cache_key() != base
+
+    def test_code_version_is_cached_and_hexish(self):
+        v = code_version()
+        assert v == code_version()
+        assert len(v) == 16
+        int(v, 16)  # must be a hex digest prefix
+
+    def test_flag_order_is_canonical(self):
+        a = SweepCell.make("water", "smtp", protocol_bitops=True,
+                           look_ahead_scheduling=True, **FAST)
+        b = SweepCell.make("water", "smtp", look_ahead_scheduling=True,
+                           protocol_bitops=True, **FAST)
+        assert a == b and a.cache_key() == b.cache_key()
+
+
+class TestResultCache:
+    def test_miss_run_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep([fast_cell()], jobs=0, cache=cache)[0]
+        assert cold.ok and not cold.cached
+        warm = run_sweep([fast_cell()], jobs=0, cache=cache)[0]
+        assert warm.ok and warm.cached
+        assert warm.stats == cold.stats
+
+    def test_param_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep([fast_cell()], jobs=0, cache=cache)
+        other = run_sweep([fast_cell(ways=2)], jobs=0, cache=cache)[0]
+        assert not other.cached
+
+    def test_refresh_ignores_prior_results_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep([fast_cell()], jobs=0, cache=cache)
+        fresh = ResultCache(tmp_path, refresh=True)
+        redone = run_sweep([fast_cell()], jobs=0, cache=fresh)[0]
+        assert not redone.cached  # prior process's result ignored
+        again = run_sweep([fast_cell()], jobs=0, cache=fresh)[0]
+        assert again.cached  # but this process's rewrite is reused
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = fast_cell(watchdog_cycles=1)
+        first = run_sweep([bad], jobs=0, cache=cache)[0]
+        assert first.status == "failed"
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_duplicate_cells_simulated_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = run_sweep([fast_cell(), fast_cell()], jobs=0, cache=cache)
+        assert len(results) == 2
+        assert results[0].stats == results[1].stats
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestDegradation:
+    def test_deadlock_yields_failure_row_not_dead_sweep(self, tmp_path):
+        cells = [fast_cell(watchdog_cycles=1), fast_cell()]
+        results = run_sweep(cells, jobs=0, cache=ResultCache(tmp_path))
+        assert results[0].status == "failed"
+        assert results[0].error_type == "DeadlockError"
+        assert "forward progress" in results[0].error
+        assert results[1].ok
+
+    def test_deadlock_in_worker_process(self, tmp_path):
+        cells = [fast_cell(watchdog_cycles=1), fast_cell()]
+        results = run_sweep(cells, jobs=2, cache=ResultCache(tmp_path))
+        assert results[0].status == "failed"
+        assert results[0].error_type == "DeadlockError"
+        assert results[1].ok
+
+    def test_timeout_kills_cell_and_records_row(self):
+        slow = SweepCell.make("fft", "base", preset="bench")
+        result = run_sweep([slow], jobs=1, timeout=0.2)[0]
+        assert result.status == "timeout"
+        assert result.error_type == "SweepTimeout"
+        assert result.elapsed_s < 5.0  # killed, not run to completion
+
+    def test_timeout_retries_are_counted(self):
+        slow = SweepCell.make("fft", "base", preset="bench")
+        result = run_sweep([slow], jobs=1, timeout=0.2, retries=1)[0]
+        assert result.status == "timeout"
+        assert result.attempts == 2
+
+
+class TestEquivalence:
+    def test_serial_and_parallel_stats_identical(self, tmp_path):
+        grid = make_grid(("water", "fft"), ("base", "smtp"), preset="tiny")
+        serial = run_sweep(grid, jobs=0, cache=ResultCache(tmp_path / "s"))
+        parallel = run_sweep(grid, jobs=2, cache=ResultCache(tmp_path / "p"))
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.stats == p.stats  # bit-identical summaries
+
+    def test_grid_order_is_deterministic(self):
+        grid = make_grid(("water", "fft"), ("base", "smtp"), nodes=(1, 2))
+        labels = [c.label for c in grid]
+        assert labels == [c.label for c in
+                          make_grid(("water", "fft"), ("base", "smtp"),
+                                    nodes=(1, 2))]
+        assert len(grid) == 8
+
+
+class TestBenchJson:
+    def test_emitter_writes_named_trajectory_file(self, tmp_path):
+        cell = fast_cell()
+        results = [
+            CellResult(cell, "ok", stats={"cycles": 123}, elapsed_s=0.5),
+            CellResult(cell, "timeout", error="t", error_type="SweepTimeout"),
+        ]
+        path = write_bench_json(tmp_path, "smoke", results, jobs=4,
+                                wall_clock_s=1.25)
+        assert path == tmp_path / "BENCH_smoke.json"
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "smoke"
+        assert doc["n_cells"] == 2
+        assert doc["n_ok"] == 1 and doc["n_failed"] == 1
+        assert doc["jobs"] == 4
+        assert doc["code_version"] == code_version()
+        assert doc["cells"][0]["stats"]["cycles"] == 123
+        assert doc["cells"][1]["status"] == "timeout"
+
+
+class TestSweepCLI:
+    def test_sweep_command_runs_and_emits_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "sweep", "--apps", "water", "--models", "smtp",
+            "--preset", "tiny", "--jobs", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path), "--name", "clitest",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BENCH_clitest.json" in out
+        doc = json.loads((tmp_path / "BENCH_clitest.json").read_text())
+        assert doc["n_ok"] == 1
+        assert doc["cells"][0]["app"] == "water"
+
+    def test_named_smoke_grid_exists(self):
+        from repro.sim.sweep import NAMED_GRIDS
+
+        cells = NAMED_GRIDS["smoke"]()
+        assert len(cells) == 4
+        assert all(c.preset == "tiny" for c in cells)
+
+    def test_list_grids(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--list-grids"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "fig2" in out
+
+    def test_failed_cell_sets_exit_code(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "sweep", "--apps", "water", "--models", "smtp",
+            "--preset", "tiny", "--jobs", "1", "--timeout", "0.01",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path), "--name", "failing",
+        ])
+        assert rc == 1
+
+
+@pytest.mark.slow
+class TestSmokeGrid:
+    def test_smoke_grid_runs_clean(self, tmp_path):
+        from repro.sim.sweep import NAMED_GRIDS
+
+        results = run_sweep(NAMED_GRIDS["smoke"](), jobs=0,
+                            cache=ResultCache(tmp_path))
+        assert all(r.ok for r in results)
