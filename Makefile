@@ -4,7 +4,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke bench clean-cache
+.PHONY: test tier1 smoke fuzz-smoke bench clean-cache
 
 # Tier-1 gate: the full unit/integration/property suite.
 test tier1:
@@ -15,6 +15,13 @@ test tier1:
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro sweep --grid smoke --name smoke \
 		--jobs $(JOBS) --timeout 120
+
+# Small seeded coherence-fuzzing campaign with fault injection
+# (delayed/reordered messages). Must exit 0: any failure writes a
+# replayable artifact under fuzz_artifacts/.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seeds 24 --faults on \
+		--jobs $(JOBS) --timeout 120 --name fuzz-smoke
 
 # Regenerate every paper table/figure (cache-warm after first run).
 bench:

@@ -4,6 +4,7 @@ Commands
 --------
 ``run``       simulate one workload on one machine model
 ``sweep``     run a grid of configurations in parallel, with caching
+``fuzz``      run a seeded coherence-fuzzing campaign (or replay one artifact)
 ``models``    list the five Table 4 machine models
 ``apps``      list workloads and their preset sizes
 ``handlers``  disassemble the coherence protocol handlers
@@ -15,6 +16,7 @@ import argparse
 import sys
 
 from repro.core.models import MODELS
+from repro.fuzz.stress import SHARING_PATTERNS
 from repro.sim.experiments import APPS, PRESETS
 from repro.sim.report import MODEL_LABELS, format_table
 
@@ -110,6 +112,89 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             wall_clock_s=wall)
     print(f"\nwrote {path}")
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    if args.replay:
+        from repro.fuzz.artifact import replay_artifact
+
+        try:
+            reproduced, failure, ops = replay_artifact(
+                args.replay, use_shrunk=not args.full_ops
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc!r}",
+                  file=sys.stderr)
+            return 2
+        if failure is not None:
+            print(f"replay raised {type(failure).__name__}: "
+                  f"{str(failure).splitlines()[0]}")
+        if reproduced:
+            print(f"reproduced the recorded failure with {len(ops)} ops")
+            return 0
+        print(f"did NOT reproduce the recorded failure "
+              f"({len(ops)} ops replayed)")
+        return 3
+
+    from repro.common.errors import ConfigError
+    from repro.fuzz.campaign import (
+        FuzzCell,
+        run_campaign,
+        summarize_campaign,
+        write_fuzz_json,
+    )
+    from repro.fuzz.faults import parse_faults
+    from repro.fuzz.stress import StressConfig
+
+    try:
+        faults = parse_faults(args.faults)
+        sharings = (
+            SHARING_PATTERNS if args.sharing == "mix" else (args.sharing,)
+        )
+        cells = [
+            FuzzCell(
+                seed=args.seed_base + i,
+                model=args.model,
+                n_nodes=args.nodes,
+                stress=StressConfig(
+                    n_ops=args.ops,
+                    n_lines=args.lines,
+                    sharing=sharings[i % len(sharings)],
+                ),
+                faults=faults,
+            )
+            for i in range(args.seeds)
+        ]
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    results = run_campaign(
+        cells,
+        jobs=jobs,
+        out_dir=args.artifacts,
+        shrink=not args.no_shrink,
+        timeout=args.timeout or None,
+        progress=print,
+    )
+    wall = time.perf_counter() - t0
+    summary = summarize_campaign(results)
+    path = write_fuzz_json(args.out, args.name, results, jobs=jobs,
+                           wall_clock_s=wall)
+    print(
+        f"\nfuzz: {summary['n_cells']} cells, {summary['n_ok']} ok, "
+        f"{summary['n_failed']} failed {summary['by_status']} "
+        f"in {wall:.1f}s"
+    )
+    for artifact in summary["artifacts"]:
+        print(f"  artifact: {artifact}")
+    print(f"wrote {path}")
+    return 0 if summary["n_failed"] == 0 else 1
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -218,6 +303,46 @@ def main(argv=None) -> int:
     sweep_p.add_argument("--name", default=None,
                          help="report name (default: grid name or 'sweep')")
     sweep_p.set_defaults(fn=_cmd_sweep)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="seeded coherence-fuzzing campaign with shrink-on-failure",
+    )
+    fuzz_p.add_argument("--seeds", type=int, default=20,
+                        help="number of seeds (cells) to run")
+    fuzz_p.add_argument("--seed-base", type=int, default=0,
+                        help="first seed; cells use seed_base..seed_base+N-1")
+    fuzz_p.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (0 = inline; default: CPUs)")
+    fuzz_p.add_argument("--faults", default="off",
+                        help="off|on|heavy|dup or key=value pairs "
+                             "(delay_rate=0.2,delay_max=500,dup_rate=0)")
+    fuzz_p.add_argument("--ops", type=int, default=300,
+                        help="memory operations per cell")
+    fuzz_p.add_argument("--lines", type=int, default=4,
+                        help="contended lines homed at each node")
+    fuzz_p.add_argument("--nodes", type=int, default=2,
+                        help="nodes per fuzz machine")
+    fuzz_p.add_argument("--model", choices=MODELS, default="base")
+    fuzz_p.add_argument("--sharing", default="mix",
+                        choices=SHARING_PATTERNS + ("mix",),
+                        help="sharing pattern ('mix' rotates across cells)")
+    fuzz_p.add_argument("--timeout", type=float, default=0,
+                        help="seconds per cell (0 = unlimited; needs --jobs>0)")
+    fuzz_p.add_argument("--artifacts", default="fuzz_artifacts",
+                        help="directory for failure artifacts")
+    fuzz_p.add_argument("--out", default=".",
+                        help="directory for the FUZZ_<name>.json report")
+    fuzz_p.add_argument("--name", default="fuzz", help="report name")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing failing op lists")
+    fuzz_p.add_argument("--replay", metavar="ARTIFACT",
+                        help="replay one failure artifact and exit "
+                             "(0 = reproduced, 3 = not)")
+    fuzz_p.add_argument("--full-ops", action="store_true",
+                        help="with --replay: use the full op list, "
+                             "not the shrunk one")
+    fuzz_p.set_defaults(fn=_cmd_fuzz)
 
     sub.add_parser("models", help="list machine models").set_defaults(fn=_cmd_models)
     sub.add_parser("apps", help="list workloads/presets").set_defaults(fn=_cmd_apps)

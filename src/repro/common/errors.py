@@ -23,6 +23,16 @@ class DeadlockError(SimulationError):
     """
 
 
+class LivelockError(DeadlockError):
+    """Transactions keep retrying but none complete.
+
+    Raised by the online sanitizer (:mod:`repro.fuzz.sanitizer`) when a
+    miss stays outstanding past its age limit even though handlers are
+    still firing — the NACK-retry-storm shape of no-forward-progress,
+    which the commit watchdog alone cannot see.
+    """
+
+
 class ProtocolError(SimulationError):
     """The coherence protocol reached an impossible state.
 

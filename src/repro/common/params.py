@@ -242,6 +242,13 @@ class MachineParams:
     watchdog_cycles: int = 2_000_000
     # Run the coherence invariant checker during simulation.
     check_coherence: bool = False
+    # Online sanitizer (repro.fuzz.sanitizer): continuous SWMR /
+    # store-version / occupancy invariants plus a livelock watchdog.
+    # Independent of check_coherence (which is the quiesce-time audit);
+    # zero simulator overhead while False.
+    sanitize: bool = False
+    # Cycles between full sanitizer sweeps (per-store checks always run).
+    sanitize_interval: int = 64
 
     def __post_init__(self) -> None:
         if not _is_pow2(self.n_nodes):

@@ -55,6 +55,16 @@ class Machine:
         if mp.check_coherence:
             self.checker = CoherenceChecker()
             self.checker.attach(self)
+        self.sanitizer = None
+        if mp.sanitize:
+            # Deferred import: repro.fuzz.campaign imports this module.
+            from repro.fuzz.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+            self.sanitizer.attach()
+            # Shadow the class method so the un-sanitized step path pays
+            # nothing — not even a None check — when the flag is off.
+            self.step = self._sanitized_step
         self._progress_cycle = 0
         # Per-cycle hot-path caches: the node list never changes after
         # construction, and mc_divisor/watchdog_cycles are frozen
@@ -112,6 +122,10 @@ class Machine:
             core.step()
         if cycle - self._progress_cycle > self._watchdog:
             raise DeadlockError(self._deadlock_report())
+
+    def _sanitized_step(self) -> None:
+        Machine.step(self)
+        self.sanitizer.on_cycle(self.cycle)
 
     def run(self, max_cycles: int) -> None:
         step = self.step

@@ -48,6 +48,8 @@ def make_machine_params(
     time_scale: int = 4,
     local_memory_bytes: int = 1 << 22,
     check_coherence: bool = False,
+    sanitize: bool = False,
+    sanitize_interval: int = 64,
     look_ahead_scheduling: bool = True,
     protocol_bitops: bool = True,
     perfect_protocol_caches: bool = False,
@@ -104,6 +106,8 @@ def make_machine_params(
         protocol_engine="thread" if smtp else "pp",
         local_memory_bytes=local_memory_bytes,
         check_coherence=check_coherence,
+        sanitize=sanitize,
+        sanitize_interval=sanitize_interval,
         watchdog_cycles=watchdog_cycles,
     )
 

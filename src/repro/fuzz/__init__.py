@@ -1,0 +1,39 @@
+"""Coherence fuzzing and sanitizing.
+
+The paper's whole argument rests on the protocol thread never losing
+coherence, so this package makes adversarial correctness checking a
+first-class subsystem:
+
+* :mod:`repro.fuzz.sanitizer` — an always-available online sanitizer
+  that validates SWMR, the store-version data-value invariant,
+  queue/MSHR occupancy accounting and directory encoding *while the
+  machine runs*, plus a livelock watchdog with structured stuck-state
+  diagnosis.  Enabled per-machine with ``MachineParams.sanitize``.
+* :mod:`repro.fuzz.stress` — a seeded stress-traffic generator with
+  configurable op mixes and sharing patterns, and a deterministic
+  executor that can replay any recorded op sequence.
+* :mod:`repro.fuzz.faults` — opt-in network fault injection (random
+  extra delay, message duplication) hooked into the interconnect.
+* :mod:`repro.fuzz.campaign` — one fuzz cell = (seed, machine shape,
+  stress config, fault config); campaigns fan cells across the sweep
+  worker pool.  ``python -m repro fuzz`` is the CLI.
+* :mod:`repro.fuzz.artifact` / :mod:`repro.fuzz.shrink` — on failure,
+  a replayable JSON artifact (seed, params, op log, trace tail,
+  machine snapshot) is written and the op sequence greedily shrunk to
+  a minimal reproducer.
+"""
+
+from repro.fuzz.faults import FaultConfig, FaultInjector, parse_faults
+from repro.fuzz.sanitizer import Sanitizer
+from repro.fuzz.stress import FuzzOp, StressConfig, generate_ops, run_ops
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FuzzOp",
+    "Sanitizer",
+    "StressConfig",
+    "generate_ops",
+    "parse_faults",
+    "run_ops",
+]

@@ -1,0 +1,116 @@
+"""Network fault injection for coherence fuzzing.
+
+The interconnect guarantees delivery but not latency, so a correct
+protocol must tolerate arbitrary per-message delay — and delay is also
+how you *reorder*: a held-back message is overtaken by everything sent
+after it.  The injector perturbs injection times with a seeded RNG,
+provoking exactly the races (stale invalidations, writeback/intervention
+crossings, NACK storms) that the paper's deadlock-avoidance and bypass
+machinery exists to survive.
+
+Message *duplication* is different: the protocol assumes a
+non-duplicating fabric (a duplicated data reply hits a freed MSHR), so
+``dup_rate > 0`` is an adversarial mode expected to produce failures —
+useful for exercising the failure pipeline, never part of a
+must-pass-clean campaign.
+
+The hook lives in :class:`repro.network.fabric.Interconnect`
+(``fault_plan``); installing nothing keeps the fabric on its
+zero-overhead path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.network.messages import Message
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and magnitudes for the three perturbation knobs."""
+
+    #: Probability a message's injection is delayed.
+    delay_rate: float = 0.0
+    #: Maximum extra delay, in processor cycles.
+    delay_max: int = 0
+    #: Probability a message is injected twice (adversarial mode).
+    dup_rate: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return (self.delay_rate > 0 and self.delay_max > 0) or self.dup_rate > 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Named presets for the ``--faults`` CLI option.
+PRESETS: Dict[str, FaultConfig] = {
+    "off": FaultConfig(),
+    "on": FaultConfig(delay_rate=0.15, delay_max=200),
+    "heavy": FaultConfig(delay_rate=0.35, delay_max=1000),
+    "dup": FaultConfig(delay_rate=0.15, delay_max=200, dup_rate=0.02),
+}
+
+
+def parse_faults(spec) -> FaultConfig:
+    """Parse a ``--faults`` value: a preset name, ``key=value`` pairs
+    (``delay_rate=0.2,delay_max=500,dup_rate=0``), or a FaultConfig."""
+    if isinstance(spec, FaultConfig):
+        return spec
+    spec = (spec or "off").strip().lower()
+    if spec in PRESETS:
+        return PRESETS[spec]
+    if "=" not in spec:
+        raise ConfigError(
+            f"unknown fault preset {spec!r}; pick from {sorted(PRESETS)} "
+            "or give key=value pairs"
+        )
+    valid = {f.name: f.type for f in fields(FaultConfig)}
+    kwargs: Dict[str, object] = {}
+    for part in spec.split(","):
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in valid:
+            raise ConfigError(
+                f"unknown fault knob {name!r}; pick from {sorted(valid)}"
+            )
+        try:
+            kwargs[name] = int(value) if name == "delay_max" else float(value)
+        except ValueError:
+            raise ConfigError(f"bad value for fault knob {name}: {value!r}")
+    return FaultConfig(**kwargs)
+
+
+class FaultInjector:
+    """Seeded per-message fault planner; install on a machine's fabric."""
+
+    def __init__(self, config: FaultConfig, seed: int) -> None:
+        self.config = config
+        # Decorrelate from the traffic generator's RNG stream.
+        self.rng = random.Random((seed << 1) ^ 0x5EED_FA17)
+        self.planned_delays = 0
+        self.planned_dups = 0
+
+    def plan(self, msg: Message) -> Tuple[int, int]:
+        """Return ``(extra_delay_cycles, n_copies)`` for one message."""
+        cfg = self.config
+        rng = self.rng
+        delay = 0
+        copies = 1
+        if cfg.delay_rate and rng.random() < cfg.delay_rate:
+            delay = rng.randrange(1, cfg.delay_max + 1)
+            self.planned_delays += 1
+        if cfg.dup_rate and rng.random() < cfg.dup_rate:
+            copies = 2
+            self.planned_dups += 1
+        return delay, copies
+
+    def install(self, fabric) -> "FaultInjector":
+        if self.config.active:
+            fabric.fault_plan = self.plan
+        return self

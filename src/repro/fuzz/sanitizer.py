@@ -1,0 +1,283 @@
+"""The online coherence sanitizer.
+
+Where :class:`repro.protocol.checker.CoherenceChecker` audits at
+quiesce, the sanitizer checks invariants *while the machine runs*, so a
+protocol bug is caught at the cycle it corrupts state — under exactly
+the adversarial schedules (fault injection, contention storms) where a
+quiesce-only audit would either never be reached (deadlock) or report a
+corpse with no trail.
+
+Checks
+------
+Per committed store (hooked through ``hierarchy.on_store``):
+
+* **SWMR** — no other node holds a writable copy of the stored line at
+  the instant of the store.
+* **Store-version data-value invariant** — the k-th store machine-wide
+  to a line must leave the owning copy at version k.  A store that
+  landed on a stale copy shows up immediately as a version mismatch
+  instead of surfacing cycles later as a lost update.
+
+Per sweep (every ``MachineParams.sanitize_interval`` cycles):
+
+* **SWMR sweep** — at most one writable copy across all nodes.
+* **Occupancy accounting** — MSHR class counters match the entry map
+  and never exceed capacity; bounded queues and bypass buffers respect
+  their capacities.
+* **Directory encoding** — every directory entry for a cached line has
+  a legal state and in-range owner/waiter/sharer fields.
+* **Livelock watchdog** — an MSHR entry outstanding for more than
+  ``watchdog_cycles`` means the transaction is starving even if
+  handlers keep firing (a NACK storm the commit watchdog cannot see);
+  the raised :class:`~repro.common.errors.LivelockError` carries a
+  structured diagnosis of which queue/MSHR/handler is stuck.
+
+The sanitizer is wired by :class:`repro.core.machine.Machine` when
+``MachineParams.sanitize`` is true; with the flag off the machine's
+step path is untouched (zero overhead).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.caches.coherence import CacheState
+from repro.common.errors import CoherenceViolation, LivelockError
+from repro.protocol import directory as d
+
+
+class Sanitizer:
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        mp = machine.mp
+        self.interval = max(1, mp.sanitize_interval)
+        self.stuck_age = mp.watchdog_cycles
+        self._next_sweep = self.interval
+        self.store_counts: Dict[int, int] = defaultdict(int)
+        #: (node_id, line_addr) -> (entry object, cycle first seen).  The
+        #: entry reference distinguishes a genuinely stuck transaction
+        #: from a hot line that misses again and again (each re-miss is
+        #: a fresh entry — and fresh entries mean forward progress).
+        self._mshr_first_seen: Dict[Tuple[int, int], Tuple[object, int]] = {}
+        self.sweeps = 0
+        self.store_checks = 0
+        self._chained: Dict[object, object] = {}
+
+    # ------------------------------------------------------------------
+    # Hook management (same discipline as CoherenceChecker)
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "Sanitizer":
+        for node in self.machine.nodes:
+            hierarchy = node.hierarchy
+            if hierarchy in self._chained:
+                continue
+            self._chained[hierarchy] = hierarchy.on_store
+            hierarchy.on_store = self._make_hook(node, hierarchy.on_store)
+        return self
+
+    def detach(self) -> None:
+        for hierarchy, original in self._chained.items():
+            hierarchy.on_store = original
+        self._chained.clear()
+
+    def __enter__(self) -> "Sanitizer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _make_hook(self, node, chained):
+        def hook(line_addr: int) -> None:
+            self._check_store(node, line_addr)
+            chained(line_addr)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Per-store checks
+    # ------------------------------------------------------------------
+
+    def _check_store(self, node, line_addr: int) -> None:
+        self.store_checks += 1
+        count = self.store_counts[line_addr] + 1
+        self.store_counts[line_addr] = count
+        line = node.hierarchy.l2.lookup(line_addr)
+        if line is None or not line.state.writable:
+            raise CoherenceViolation(
+                f"cycle {self.machine.cycle}: node {node.node_id} committed a "
+                f"store to {line_addr:#x} without a writable L2 copy"
+            )
+        if line.version != count:
+            raise CoherenceViolation(
+                f"cycle {self.machine.cycle}: store #{count} to "
+                f"{line_addr:#x} at node {node.node_id} left version "
+                f"{line.version} — the store landed on a stale copy"
+            )
+        for other in self.machine.nodes:
+            if other is node:
+                continue
+            peer = other.hierarchy.l2.lookup(line_addr)
+            if peer is not None and peer.state.writable:
+                raise CoherenceViolation(
+                    f"cycle {self.machine.cycle}: node {node.node_id} stored "
+                    f"to {line_addr:#x} while node {other.node_id} holds a "
+                    f"{peer.state.name} copy (SWMR broken)"
+                )
+
+    # ------------------------------------------------------------------
+    # Periodic sweep
+    # ------------------------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        if cycle < self._next_sweep:
+            return
+        self._next_sweep = cycle + self.interval
+        self.sweep(cycle)
+
+    def sweep(self, cycle: int) -> None:
+        self.sweeps += 1
+        machine = self.machine
+        writers: Dict[int, List[int]] = {}
+        cached: Dict[int, List[int]] = {}
+        for node in machine.nodes:
+            self._check_occupancy(node)
+            for la, state in node.hierarchy.cached_app_lines().items():
+                cached.setdefault(la, []).append(node.node_id)
+                if state in (CacheState.EXCLUSIVE, CacheState.MODIFIED):
+                    writers.setdefault(la, []).append(node.node_id)
+        for la, nodes in writers.items():
+            if len(nodes) > 1:
+                raise CoherenceViolation(
+                    f"cycle {cycle}: line {la:#x} writable at multiple "
+                    f"nodes: {nodes}"
+                )
+        self._check_directory_encoding(cached, cycle)
+        self._check_forward_progress(cycle)
+
+    def _check_occupancy(self, node) -> None:
+        mshrs = node.hierarchy.mshrs
+        used = mshrs._app_used + mshrs._store_used + mshrs._proto_used
+        if used != len(mshrs.entries):
+            raise CoherenceViolation(
+                f"node {node.node_id}: MSHR accounting drift — class "
+                f"counters say {used}, entry map holds {len(mshrs.entries)}"
+            )
+        if len(mshrs.entries) > mshrs.total_capacity:
+            raise CoherenceViolation(
+                f"node {node.node_id}: {len(mshrs.entries)} MSHRs in use, "
+                f"capacity {mshrs.total_capacity}"
+            )
+        mc = node.mc
+        for queue in [mc.local_queue, *mc.ni_in]:
+            if len(queue) > queue.capacity:
+                raise CoherenceViolation(
+                    f"node {node.node_id}: queue {queue.name} holds "
+                    f"{len(queue)} > capacity {queue.capacity}"
+                )
+        h = node.hierarchy
+        for buf in (h.ibypass, h.dbypass, h.l2bypass):
+            if len(buf) > buf.n_lines:
+                raise CoherenceViolation(
+                    f"node {node.node_id}: bypass buffer {buf.name} holds "
+                    f"{len(buf)} > capacity {buf.n_lines}"
+                )
+
+    def _check_directory_encoding(
+        self, cached: Dict[int, List[int]], cycle: int
+    ) -> None:
+        machine = self.machine
+        layout = machine.layout
+        n_nodes = machine.mp.n_nodes
+        vector_mask = ~((1 << n_nodes) - 1)
+        for la in cached:
+            home = machine.nodes[layout.home_of(la)]
+            entry = home.pmem.get(layout.dir_entry_addr(la), 0)
+            state = d.state_of(entry)
+            if state not in d.STATE_NAMES:
+                raise CoherenceViolation(
+                    f"cycle {cycle}: line {la:#x} directory entry has "
+                    f"illegal state {state} ({entry:#x})"
+                )
+            if state == d.EXCLUSIVE and d.owner_of(entry) >= n_nodes:
+                raise CoherenceViolation(
+                    f"cycle {cycle}: line {la:#x} directory owner "
+                    f"{d.owner_of(entry)} out of range ({n_nodes} nodes)"
+                )
+            if d.sharers_of(entry) and (
+                self._vector_of(entry) & vector_mask
+            ):
+                raise CoherenceViolation(
+                    f"cycle {cycle}: line {la:#x} sharer vector names a "
+                    f"node >= {n_nodes}: {d.describe(entry)}"
+                )
+
+    @staticmethod
+    def _vector_of(entry: int) -> int:
+        return entry >> d.VECTOR_SHIFT
+
+    # ------------------------------------------------------------------
+    # Livelock watchdog
+    # ------------------------------------------------------------------
+
+    def _check_forward_progress(self, cycle: int) -> None:
+        seen: Dict[Tuple[int, int], Tuple[object, int]] = {}
+        stuck: List[Tuple[int, int, int]] = []
+        for node in self.machine.nodes:
+            for la, entry in node.hierarchy.mshrs.entries.items():
+                key = (node.node_id, la)
+                prev = self._mshr_first_seen.get(key)
+                first = prev[1] if prev is not None and prev[0] is entry else cycle
+                seen[key] = (entry, first)
+                age = cycle - first
+                if age > self.stuck_age:
+                    stuck.append((node.node_id, la, age))
+        self._mshr_first_seen = seen
+        if stuck:
+            raise LivelockError(self.diagnose(stuck, cycle))
+
+    def diagnose(self, stuck: List[Tuple[int, int, int]], cycle: int) -> str:
+        """Structured report of what is wedged and where."""
+        machine = self.machine
+        layout = machine.layout
+        lines = [
+            f"cycle {cycle}: {len(stuck)} transaction(s) outstanding for "
+            f"more than {self.stuck_age} cycles"
+        ]
+        for node_id, la, age in stuck:
+            node = machine.nodes[node_id]
+            entry = node.hierarchy.mshrs.get(la)
+            home_id = layout.home_of(la)
+            dir_entry = machine.nodes[home_id].pmem.get(
+                layout.dir_entry_addr(la), 0
+            )
+            lines.append(
+                f"  node {node_id} line {la:#x}: {entry.kind.value} miss, "
+                f"age {age}, retries {entry.retries}, "
+                f"acks pending {entry.pending_acks}, "
+                f"data {'arrived' if entry.data_arrived else 'missing'}, "
+                f"upgrade={entry.request_upgrade} — home {home_id} "
+                f"directory: {d.describe(dir_entry)}"
+            )
+        for node in machine.nodes:
+            mc = node.mc
+            engine = "none"
+            if mc.engine is not None:
+                engine = "busy" if not mc.engine.can_accept() else "ready"
+            lines.append(
+                f"  node {node.node_id} queues: lmi={len(mc.local_queue)} "
+                f"ni={[len(q) for q in mc.ni_in]} "
+                f"probe_replies={len(mc.probe_replies)} engine={engine}"
+            )
+        lines.append(machine._deadlock_report())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, int]:
+        return {
+            "sweeps": self.sweeps,
+            "store_checks": self.store_checks,
+            "lines_stored": len(self.store_counts),
+        }

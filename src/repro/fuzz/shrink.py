@@ -1,0 +1,55 @@
+"""Greedy op-sequence minimization (delta debugging, ddmin-style).
+
+Given a failing op list, repeatedly try dropping contiguous chunks —
+halving the chunk size whenever a full pass removes nothing — and keep
+any candidate that still reproduces the failure's status class on a
+fresh machine.  Replays are whole-machine runs, so a replay budget caps
+the work; shrinking is best-effort, never required for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.fuzz.stress import FuzzOp
+
+DEFAULT_BUDGET = 150
+
+
+def shrink_ops(
+    ops: List[FuzzOp],
+    reproduces: Callable[[List[FuzzOp]], bool],
+    budget: int = DEFAULT_BUDGET,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FuzzOp]:
+    """Return a minimal-ish op list for which ``reproduces`` holds.
+
+    ``reproduces(candidate)`` must re-run the candidate from scratch
+    and report whether the original failure class recurs.  The input
+    ``ops`` are assumed to reproduce (callers verified by failing).
+    """
+    note = progress or (lambda msg: None)
+    current = list(ops)
+    attempts = 0
+    chunk = max(1, len(current) // 2)
+    while attempts < budget:
+        removed_any = False
+        i = 0
+        while i < len(current) and attempts < budget:
+            candidate = current[:i] + current[i + chunk:]
+            if not candidate:
+                break
+            attempts += 1
+            if reproduces(candidate):
+                current = candidate
+                removed_any = True
+                note(f"shrink: {len(current)} ops (chunk {chunk})")
+            else:
+                i += chunk
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    note(f"shrink: done at {len(current)} ops after {attempts} replays")
+    return current

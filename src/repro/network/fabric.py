@@ -13,7 +13,8 @@ input queue for the message's VN has space.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.events import EventWheel
 from repro.common.params import MachineParams
@@ -38,6 +39,12 @@ class Interconnect:
         self.messages_sent = 0
         self.total_hops = 0
         self.total_latency = 0
+        # Fault-injection hook (repro.fuzz.faults): called with each
+        # injected message, returns ``(extra_delay_cycles, n_copies)``.
+        # None (the default) keeps injection on the zero-overhead path.
+        self.fault_plan: Optional[Callable[[Message], Tuple[int, int]]] = None
+        self.faults_delayed = 0
+        self.faults_duplicated = 0
 
     def attach(self, node: int, deliver: Deliver) -> None:
         self._deliver[node] = deliver
@@ -61,6 +68,22 @@ class Interconnect:
         """Inject ``msg``; it is eventually handed to the destination NI."""
         if msg.dest == msg.src:
             raise ValueError(f"message to self should not enter the network: {msg}")
+        if self.fault_plan is not None:
+            delay, copies = self.fault_plan(msg)
+            if delay > 0 or copies != 1:
+                if delay > 0:
+                    self.faults_delayed += 1
+                self.faults_duplicated += max(0, copies - 1)
+                for i in range(copies):
+                    # Copies get distinct Message objects: the receive
+                    # path mutates messages (probe_kind), and one object
+                    # must not sit in two NI queues at once.
+                    m = msg if i == 0 else dataclasses.replace(msg)
+                    self.wheel.schedule(delay, lambda m=m: self._inject(m))
+                return
+        self._inject(msg)
+
+    def _inject(self, msg: Message) -> None:
         self.messages_sent += 1
         links = self._path_links(msg.src, msg.dest)
         self.total_hops += len(links)

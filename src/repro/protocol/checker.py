@@ -31,12 +31,45 @@ class CoherenceChecker:
     def __init__(self) -> None:
         self.store_counts: Dict[int, int] = defaultdict(int)
         self.checks_run = 0
+        # hierarchy -> the on_store callable we chained onto, so detach
+        # can restore it.  Empty while not attached.
+        self._chained: Dict[object, object] = {}
 
     # -- hooks -------------------------------------------------------------
-    def attach(self, machine) -> None:
+    def attach(self, machine) -> "CoherenceChecker":
+        """Chain the store-counting hook onto every node's hierarchy.
+
+        Idempotent: attaching while already attached is a no-op, so a
+        checker reused across several runs of one machine cannot stack
+        hooks (each stacked hook would double-count stores).  Returns
+        ``self`` so it can be used as a context manager::
+
+            with CoherenceChecker().attach(machine):
+                ... run ...
+        """
         for node in machine.nodes:
-            original = node.hierarchy.on_store
-            node.hierarchy.on_store = self._make_hook(original)
+            hierarchy = node.hierarchy
+            if hierarchy in self._chained:
+                continue  # already hooked: never stack
+            self._chained[hierarchy] = hierarchy.on_store
+            hierarchy.on_store = self._make_hook(hierarchy.on_store)
+        return self
+
+    def detach(self) -> None:
+        """Restore every hooked ``on_store`` to what attach found."""
+        for hierarchy, original in self._chained.items():
+            hierarchy.on_store = original
+        self._chained.clear()
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._chained)
+
+    def __enter__(self) -> "CoherenceChecker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     def _make_hook(self, chained):
         def hook(line_addr: int) -> None:

@@ -25,6 +25,9 @@ Entry points:
 * :class:`ResultCache` — the on-disk cell store.
 * :func:`write_bench_json` — emit a machine-readable ``BENCH_*.json``
   trajectory file for a finished sweep.
+* :func:`pool_map` — the underlying generic worker pool (one
+  terminate-able subprocess per in-flight item); also drives
+  :func:`repro.fuzz.campaign.run_campaign`.
 
 ``python -m repro sweep`` wraps all of this on the command line.
 """
@@ -298,21 +301,125 @@ def run_cell(cell: SweepCell) -> CellResult:
     )
 
 
-def _worker(conn, cell: SweepCell) -> None:
-    """Subprocess entry: run the cell, ship the result over the pipe."""
+def _sweep_entry(cell: SweepCell) -> Dict[str, object]:
+    """Worker-side entry for :func:`pool_map`: run one sweep cell."""
     result = run_cell(cell)
+    return {
+        "status": result.status,
+        "stats": result.stats,
+        "error": result.error,
+        "error_type": result.error_type,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# The generic worker pool
+# ----------------------------------------------------------------------
+
+
+def _pool_worker(conn, fn, payload) -> None:
+    """Subprocess entry: run ``fn(payload)``, ship the result back.
+
+    If ``fn`` raises, the pipe closes without a result and the parent
+    records the item as crashed (and retries it, if allowed).
+    """
     try:
-        conn.send(
-            {
-                "status": result.status,
-                "stats": result.stats,
-                "error": result.error,
-                "error_type": result.error_type,
-                "elapsed_s": result.elapsed_s,
-            }
-        )
+        conn.send(fn(payload))
     finally:
         conn.close()
+
+
+def pool_map(
+    pending: Sequence[Tuple[object, object]],
+    fn: Callable[[object], Dict[str, object]],
+    jobs: int,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_done: Optional[
+        Callable[[object, object, Optional[Dict[str, object]], float, int], None]
+    ] = None,
+) -> None:
+    """Fan ``(ident, payload)`` items over one subprocess per in-flight
+    item, calling ``fn(payload)`` in the child.
+
+    One process per item (not a long-lived pool) so an overdue or
+    wedged simulation can be ``terminate()``-d without poisoning other
+    items' workers.  Item runtimes are seconds-to-minutes, so the spawn
+    cost is noise.  ``fn`` must be a module-level (picklable) function
+    returning a picklable dict without a ``"_pool_status"`` key.
+
+    ``on_done(ident, payload, outcome, elapsed_s, attempts)`` fires once
+    per item, in completion order.  ``outcome`` is the dict ``fn``
+    returned, or ``{"_pool_status": "timeout"}`` for an item that
+    exceeded ``timeout`` wall-clock seconds, or ``{"_pool_status":
+    "crashed", "exitcode": ...}`` for a worker that died with no
+    result.  Timeouts and crashes are retried up to ``retries`` extra
+    attempts before being reported; ``fn`` results never are.
+    """
+    note_done = on_done or (lambda *a: None)
+    ctx = multiprocessing.get_context()
+    queue: List[Tuple[object, object, int]] = [
+        (ident, payload, 1) for ident, payload in pending
+    ]
+    running: Dict[object, Tuple[object, object, object, float, int]] = {}
+
+    def harvest(proc, ident, payload, conn, start, attempt) -> None:
+        elapsed = time.perf_counter() - start
+        if conn.poll():
+            msg = conn.recv()
+            proc.join()
+            conn.close()
+            note_done(ident, payload, msg, elapsed, attempt)
+            return
+        # No result: the worker crashed or was killed.
+        proc.join()
+        conn.close()
+        if attempt <= retries:
+            queue.append((ident, payload, attempt + 1))
+            return
+        note_done(
+            ident,
+            payload,
+            {"_pool_status": "crashed", "exitcode": proc.exitcode},
+            elapsed,
+            attempt,
+        )
+
+    while queue or running:
+        while queue and len(running) < jobs:
+            ident, payload, attempt = queue.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_pool_worker, args=(child_conn, fn, payload))
+            proc.start()
+            child_conn.close()
+            running[proc] = (ident, payload, parent_conn, time.perf_counter(), attempt)
+
+        now = time.perf_counter()
+        finished = []
+        overdue = []
+        for proc, (ident, payload, conn, start, attempt) in running.items():
+            if conn.poll() or not proc.is_alive():
+                finished.append(proc)
+            elif timeout is not None and now - start > timeout:
+                overdue.append(proc)
+        for proc in overdue:
+            ident, payload, conn, start, attempt = running.pop(proc)
+            proc.terminate()
+            proc.join()
+            conn.close()
+            if attempt <= retries:
+                queue.append((ident, payload, attempt + 1))
+            else:
+                note_done(
+                    ident, payload, {"_pool_status": "timeout"},
+                    now - start, attempt,
+                )
+        for proc in finished:
+            ident, payload, conn, start, attempt = running.pop(proc)
+            harvest(proc, ident, payload, conn, start, attempt)
+        if running and not finished and not overdue:
+            time.sleep(0.02)
 
 
 # ----------------------------------------------------------------------
@@ -390,7 +497,43 @@ def run_sweep(
         for key, cell in pending:
             finish(key, run_cell(cell))
     elif pending:
-        _run_pool(pending, jobs, timeout, retries, finish)
+
+        def on_done(key, cell, outcome, elapsed, attempts):
+            status = outcome.get("_pool_status")
+            if status == "crashed":
+                finish(key, CellResult(
+                    cell,
+                    "crashed",
+                    error=(
+                        f"worker exited with code {outcome.get('exitcode')} "
+                        "and no result"
+                    ),
+                    error_type="WorkerCrash",
+                    elapsed_s=elapsed,
+                    attempts=attempts,
+                ))
+            elif status == "timeout":
+                finish(key, CellResult(
+                    cell,
+                    "timeout",
+                    error=f"cell exceeded {timeout:g}s wall clock",
+                    error_type="SweepTimeout",
+                    elapsed_s=elapsed,
+                    attempts=attempts,
+                ))
+            else:
+                finish(key, CellResult(
+                    cell,
+                    outcome["status"],
+                    stats=outcome["stats"],
+                    error=outcome["error"],
+                    error_type=outcome["error_type"],
+                    elapsed_s=outcome["elapsed_s"],
+                    attempts=attempts,
+                ))
+
+        pool_map(pending, _sweep_entry, jobs=jobs, timeout=timeout,
+                 retries=retries, on_done=on_done)
 
     wall = time.perf_counter() - t0
     note(
@@ -399,106 +542,6 @@ def run_sweep(
         f"in {wall:.1f}s"
     )
     return [results[key] for key in order]
-
-
-def _run_pool(
-    pending: List[Tuple[str, SweepCell]],
-    jobs: int,
-    timeout: Optional[float],
-    retries: int,
-    finish: Callable[[str, CellResult], None],
-) -> None:
-    """Fan pending cells out over one subprocess per in-flight cell.
-
-    One process per cell (not a long-lived pool) so an overdue or
-    wedged simulation can be ``terminate()``-d without poisoning other
-    cells' workers.  Cell runtimes are seconds-to-minutes, so the
-    spawn cost is noise.
-    """
-    ctx = multiprocessing.get_context()
-    queue: List[Tuple[str, SweepCell, int]] = [
-        (key, cell, 1) for key, cell in pending
-    ]
-    running: Dict[object, Tuple[str, SweepCell, object, float, int]] = {}
-
-    def harvest(proc, key, cell, conn, start, attempt) -> None:
-        elapsed = time.perf_counter() - start
-        if conn.poll():
-            msg = conn.recv()
-            proc.join()
-            conn.close()
-            finish(
-                key,
-                CellResult(
-                    cell,
-                    msg["status"],
-                    stats=msg["stats"],
-                    error=msg["error"],
-                    error_type=msg["error_type"],
-                    elapsed_s=msg["elapsed_s"],
-                    attempts=attempt,
-                ),
-            )
-            return
-        # No result: the worker crashed or was killed.
-        proc.join()
-        conn.close()
-        if attempt <= retries:
-            queue.append((key, cell, attempt + 1))
-            return
-        finish(
-            key,
-            CellResult(
-                cell,
-                "crashed",
-                error=f"worker exited with code {proc.exitcode} and no result",
-                error_type="WorkerCrash",
-                elapsed_s=elapsed,
-                attempts=attempt,
-            ),
-        )
-
-    while queue or running:
-        while queue and len(running) < jobs:
-            key, cell, attempt = queue.pop(0)
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_worker, args=(child_conn, cell))
-            proc.start()
-            child_conn.close()
-            running[proc] = (key, cell, parent_conn, time.perf_counter(), attempt)
-
-        now = time.perf_counter()
-        finished = []
-        overdue = []
-        for proc, (key, cell, conn, start, attempt) in running.items():
-            if conn.poll() or not proc.is_alive():
-                finished.append(proc)
-            elif timeout is not None and now - start > timeout:
-                overdue.append(proc)
-        for proc in overdue:
-            key, cell, conn, start, attempt = running.pop(proc)
-            proc.terminate()
-            proc.join()
-            conn.close()
-            if attempt <= retries:
-                queue.append((key, cell, attempt + 1))
-            else:
-                finish(
-                    key,
-                    CellResult(
-                        cell,
-                        "timeout",
-                        error=f"cell exceeded {timeout:g}s wall clock",
-                        error_type="SweepTimeout",
-                        elapsed_s=now - start,
-                        attempts=attempt,
-                    ),
-                )
-        for proc in finished:
-            key, cell, conn, start, attempt = running.pop(proc)
-            harvest(proc, key, cell, conn, start, attempt)
-        if running and not finished and not overdue:
-            time.sleep(0.02)
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,8 @@ one Python call per event, so keep it out of benchmark runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
 from repro.network.messages import Message
@@ -38,19 +39,28 @@ class TraceEvent:
 
 
 class ProtocolTracer:
+    """Records protocol events.
+
+    ``ring=False`` (debugging): record the first ``max_events`` events
+    and then stop.  ``ring=True`` (failure artifacts): keep the *last*
+    ``max_events`` events in a ring buffer, so the tail leading up to a
+    violation survives however long the run was.
+    """
+
     def __init__(self, machine, line: Optional[int] = None,
-                 max_events: int = 100_000) -> None:
+                 max_events: int = 100_000, ring: bool = False) -> None:
         self.machine = machine
         self.line_mask = ~(machine.mp.line_bytes - 1)
         self.line = line & self.line_mask if line is not None else None
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
+        self.ring = ring
+        self.events = deque(maxlen=max_events) if ring else []
         for node in machine.nodes:
             self._wrap(node)
 
     # ------------------------------------------------------------------
     def _interesting(self, addr: int) -> bool:
-        if len(self.events) >= self.max_events:
+        if not self.ring and len(self.events) >= self.max_events:
             return False
         return self.line is None or (addr & self.line_mask) == self.line
 
@@ -127,9 +137,18 @@ class ProtocolTracer:
 
     # ------------------------------------------------------------------
     def render(self, limit: Optional[int] = None) -> str:
-        events = self.events if limit is None else self.events[-limit:]
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
         header = f"{'cycle':>10s}  {'where':8s} {'event':9s} {'line':12s}  detail"
         return "\n".join([header] + [e.render() for e in events])
+
+    def to_dicts(self, limit: Optional[int] = None) -> List[dict]:
+        """JSON-serializable event tail (for failure artifacts)."""
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        return [asdict(e) for e in events]
 
     def count(self, kind: Optional[str] = None) -> int:
         if kind is None:

@@ -66,3 +66,51 @@ class TestCheckerCatchesBugs:
             m.nodes[0].hierarchy.store(0x1000 + 8 * i, False, i, done.cb(str(i)))
             m.quiesce()
         assert m.checker.store_counts[0x1000] == 3
+
+
+class TestCheckerAttachLifecycle:
+    def test_attach_is_idempotent(self, machine2):
+        # Re-attaching must not stack the on_store hook: each committed
+        # store counts exactly once.
+        m = machine2
+        m.checker.attach(m).attach(m)
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+        m.quiesce()
+        assert m.checker.store_counts[0x1000] == 1
+
+    def test_detach_restores_original_hooks(self, machine2):
+        m = machine2
+        assert m.checker.attached
+        m.checker.detach()
+        assert not m.checker.attached
+        done = Completion(m)
+        m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+        m.quiesce()
+        assert 0x1000 not in m.checker.store_counts
+
+    def test_context_manager_detaches(self):
+        from repro.protocol.checker import CoherenceChecker
+        from tests.conftest import small_machine
+
+        m = small_machine("base", check_coherence=False)
+        hooks_before = [n.hierarchy.on_store for n in m.nodes]
+        with CoherenceChecker().attach(m) as checker:
+            assert checker.attached
+            done = Completion(m)
+            m.nodes[0].hierarchy.store(0x1000, False, 1, done.cb("a"))
+            m.quiesce()
+            assert checker.store_counts[0x1000] == 1
+        assert not checker.attached
+        assert [n.hierarchy.on_store for n in m.nodes] == hooks_before
+
+    def test_two_machines_one_checker(self, machine2):
+        # A second machine's hierarchies are new objects: attach must
+        # hook them even though the first machine is already chained.
+        from tests.conftest import small_machine
+
+        other = small_machine("base", check_coherence=False)
+        n_before = len(machine2.checker._chained)
+        machine2.checker.attach(other)
+        assert len(machine2.checker._chained) == n_before + len(other.nodes)
+        machine2.checker.detach()

@@ -1,4 +1,9 @@
-"""The ``python -m repro`` command-line interface."""
+"""The ``python -m repro`` command-line interface.
+
+``sweep`` has its own CLI coverage in ``tests/test_sweep.py``; the
+``fuzz`` tests here run in-process (``--jobs 0``) so a monkey-patched
+protocol bug is visible to the campaign.
+"""
 
 import pytest
 
@@ -40,3 +45,62 @@ class TestCLI:
     def test_bad_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "linpack"])
+
+
+class TestFuzzCLI:
+    def fuzz(self, tmp_path, *extra):
+        return main([
+            "fuzz", "--jobs", "0", "--ops", "60",
+            "--artifacts", str(tmp_path / "artifacts"),
+            "--out", str(tmp_path),
+            *extra,
+        ])
+
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        assert self.fuzz(tmp_path, "--seeds", "2", "--faults", "off") == 0
+        out = capsys.readouterr().out
+        assert "2 ok, 0 failed" in out
+        assert (tmp_path / "FUZZ_fuzz.json").exists()
+        assert not (tmp_path / "artifacts").exists()
+
+    def test_bad_faults_spec_exits_two(self, tmp_path, capsys):
+        assert self.fuzz(tmp_path, "--faults", "bogus") == 2
+        assert "unknown fault preset" in capsys.readouterr().err
+
+    def test_bad_sharing_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.fuzz(tmp_path, "--sharing", "bogus")
+
+    def test_replay_of_missing_artifact_exits_two(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path / "nope.json")]) == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_violation_exits_nonzero_and_writes_artifact(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from tests.test_fuzz import install_dropped_inval_bug
+
+        install_dropped_inval_bug(monkeypatch)
+        rc = self.fuzz(tmp_path, "--seeds", "10", "--ops", "100", "--no-shrink")
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+        artifacts = list((tmp_path / "artifacts").glob("fuzz_*.json"))
+        assert artifacts
+
+        # While the bug is installed the artifact replays to exit 0...
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_replay_of_fixed_bug_exits_three(self, tmp_path, capsys):
+        with pytest.MonkeyPatch.context() as mp:
+            from tests.test_fuzz import install_dropped_inval_bug
+
+            install_dropped_inval_bug(mp)
+            assert self.fuzz(
+                tmp_path, "--seeds", "10", "--ops", "100", "--no-shrink"
+            ) == 1
+        artifacts = list((tmp_path / "artifacts").glob("fuzz_*.json"))
+        # ...and with the bug gone, replay reports non-reproduction.
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 3
+        assert "did NOT reproduce" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Golden-stats regression: the smoke grid's cells, run serially, must
+reproduce the committed snapshot bit-for-bit.
+
+The simulator is deterministic, so any drift in cycles / committed
+instructions / protocol work is a real behavior change — either a bug
+or an intentional change that must update ``tests/golden/`` in the same
+commit (regenerate with the snippet in the golden file's test below).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.sweep import NAMED_GRIDS, run_cell
+
+GOLDEN = Path(__file__).parent / "golden" / "smoke_stats.json"
+
+TRACKED = ("cycles", "committed", "protocol_instructions")
+
+
+def current_stats():
+    out = {}
+    for cell in NAMED_GRIDS["smoke"]():
+        result = run_cell(cell)
+        assert result.ok, f"{cell.label}: {result.error}"
+        out[cell.label] = {k: result.stats[k] for k in TRACKED}
+    return out
+
+
+@pytest.mark.slow
+def test_smoke_grid_matches_golden_snapshot():
+    golden = json.loads(GOLDEN.read_text())
+    actual = current_stats()
+    assert actual == golden, (
+        "simulator statistics drifted from tests/golden/smoke_stats.json; "
+        "if the change is intentional, regenerate the snapshot:\n"
+        "  PYTHONPATH=src python - <<'EOF'\n"
+        "import json, pathlib\n"
+        "from tests.test_golden_stats import GOLDEN, current_stats\n"
+        "GOLDEN.write_text(json.dumps(current_stats(), indent=1, "
+        "sort_keys=True) + '\\n')\n"
+        "EOF"
+    )
