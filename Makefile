@@ -4,11 +4,30 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke fuzz-smoke bench clean-cache
+.PHONY: test tier1 smoke fuzz-smoke bench clean-cache analyze lint
 
-# Tier-1 gate: the full unit/integration/property suite.
+# Tier-1 gate: the full unit/integration/property suite, then the
+# protocol verifier (static + dispatch + exhaustive small model).
 test tier1:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) analyze
+	$(MAKE) lint
+
+# Protocol verifier: static handler analysis, dispatch completeness,
+# and the exhaustive 2-node small-model check. Exit 1 = findings.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS)
+
+# Style + types. ruff/mypy are optional (pip install -e .[lint]);
+# when absent the target reports and succeeds so offline CI images
+# without the linters still pass tier-1.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PYTHON) -m ruff check src tests; \
+	else echo "lint: ruff not installed, skipping"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PYTHON) -m mypy -p repro.protocol -p repro.isa -p repro.analyze; \
+	else echo "lint: mypy not installed, skipping"; fi
 
 # CI-sized sweep (2 apps x 2 models, tiny preset). Writes
 # BENCH_smoke.json — one perf-trajectory point per commit.

@@ -8,6 +8,7 @@ Commands
 ``models``    list the five Table 4 machine models
 ``apps``      list workloads and their preset sizes
 ``handlers``  disassemble the coherence protocol handlers
+``analyze``   statically verify the handler table (see repro.analyze)
 """
 
 from __future__ import annotations
@@ -350,6 +351,10 @@ def main(argv=None) -> int:
     handlers_p = sub.add_parser("handlers", help="show protocol handlers")
     handlers_p.add_argument("--name", help="disassemble one handler")
     handlers_p.set_defaults(fn=_cmd_handlers)
+
+    from repro.analyze.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,34 @@
+"""Static + exhaustive verification of the protocol handler table.
+
+Three passes, all over the *real* programs from
+:func:`repro.protocol.handlers.build_handler_table` (with the
+active-memory extension installed, exactly as the simulator runs
+them):
+
+1. :mod:`repro.analyze.absint` — CFG + abstract interpretation per
+   handler: undefined reads, unreachable code, malformed send headers,
+   unbounded loops, worst-case instruction counts.
+2. :mod:`repro.analyze.dispatch` — dispatch completeness: unhandled
+   message types, dead handlers, and a functional (state x msg)
+   enumeration for reachable TRAPs.
+3. :mod:`repro.analyze.model` — exhaustive small-model checking of a
+   2-3 node, 1-line machine executing the actual handlers; SWMR,
+   data-value, stuck-state, and directory-health invariants, with
+   counterexamples replayable via ``repro fuzz --replay``.
+
+``python -m repro analyze`` is the CLI face (see
+:mod:`repro.analyze.cli`); findings are aggregated by
+:mod:`repro.analyze.findings` and filtered through the justified
+suppression list in :mod:`repro.analyze.suppressions`.
+"""
+
+from repro.analyze.findings import Finding, Report, format_report
+from repro.analyze.suppressions import SUPPRESSIONS, Suppression
+
+__all__ = [
+    "Finding",
+    "Report",
+    "SUPPRESSIONS",
+    "Suppression",
+    "format_report",
+]

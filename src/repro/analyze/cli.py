@@ -1,0 +1,192 @@
+"""``python -m repro analyze``: run the three verifier passes.
+
+Exit codes: 0 clean (possibly with suppressed/info findings), 1 at
+least one unsuppressed error finding, 2 configuration error (bad
+flags, broken suppression list, crashed worker).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.protocol.directory import DirectoryLayout
+
+from repro.analyze.findings import Finding, Report, SEV_INFO, format_report
+
+
+def add_analyze_parser(sub) -> None:
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify the protocol handler table",
+        description=(
+            "Static handler analysis, dispatch-completeness checking, "
+            "and exhaustive small-model checking of the shipped "
+            "coherence handlers."
+        ),
+    )
+    p.add_argument("--json", action="store_true", help="emit a JSON report")
+    p.add_argument(
+        "--max-nodes", type=int, default=2, metavar="N",
+        help="model-checker machine size (2 or 3; default 2)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=4, metavar="J",
+        help="worker processes for state-space exploration "
+        "(<=1 runs in-process; default 4)",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=400_000, metavar="S",
+        help="state cap per exploration worker (default 400000)",
+    )
+    p.add_argument(
+        "--loads", type=int, default=1, metavar="L",
+        help="per-node load budget for the model checker (default 1)",
+    )
+    p.add_argument(
+        "--stores", type=int, default=1, metavar="S",
+        help="per-node store budget for the model checker (default 1)",
+    )
+    p.add_argument(
+        "--no-model", action="store_true",
+        help="skip the (slower) small-model checking pass",
+    )
+    p.add_argument(
+        "--artifacts", default="analyze-artifacts", metavar="DIR",
+        help="directory for replayable counterexample artifacts",
+    )
+    p.add_argument(
+        "--write-inventory", nargs="?", const="docs/handlers.md",
+        default=None, metavar="PATH",
+        help="regenerate the handler-inventory table (default "
+        "docs/handlers.md) and exit",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print per-handler worst-case notes",
+    )
+    p.set_defaults(fn=cmd_analyze)
+
+
+def build_report(
+    jobs: int = 1,
+    max_nodes: int = 2,
+    max_states: int = 400_000,
+    loads: int = 1,
+    stores: int = 1,
+    run_model: bool = True,
+    artifacts_dir: Optional[str] = None,
+) -> Report:
+    """Run all passes over the real (extension-installed) table."""
+    from repro.protocol import extensions
+    from repro.protocol.handlers import build_handler_table
+
+    from repro.analyze.absint import run_static_pass
+    from repro.analyze.dispatch import run_dispatch_pass
+    from repro.analyze.model import check_model, counterexample_artifact
+    from repro.analyze.suppressions import SUPPRESSIONS
+
+    table = build_handler_table()
+    extensions.install(table)
+    layout = DirectoryLayout(
+        local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
+    )
+    report = Report()
+
+    findings, inventory = run_static_pass(table, layout)
+    report.extend(findings)
+    report.inventory = inventory
+    report.stats["static"] = {
+        "handlers": len(inventory),
+        "errors": sum(1 for f in findings if f.severity != SEV_INFO),
+    }
+
+    worst = {
+        str(row["name"]): int(row["worst_case"])
+        for row in inventory
+        if row["worst_case"] is not None
+    }
+    findings, stats = run_dispatch_pass(table, layout, worst_cases=worst)
+    report.extend(findings)
+    report.stats["dispatch"] = stats
+
+    if run_model:
+        t0 = time.perf_counter()
+        result = check_model(
+            n_nodes=max_nodes, loads=loads, stores=stores, jobs=jobs,
+            max_states=max_states, table=table, layout=layout,
+        )
+        report.stats["model"] = {
+            "nodes": max_nodes,
+            "states": result.states,
+            "transitions": result.transitions,
+            "truncated": result.truncated,
+            "seconds": round(time.perf_counter() - t0, 2),
+        }
+        if result.violation is not None:
+            v = result.violation
+            detail = {
+                "status": v.status,
+                "trace": list(v.trace),
+            }
+            if artifacts_dir is not None:
+                path = counterexample_artifact(
+                    Path(artifacts_dir) / f"model_{v.code}.json", v, max_nodes
+                )
+                detail["artifact"] = str(path)
+            report.add(Finding(
+                "model", v.code, "",
+                f"{v.message} (trace: {len(v.trace)} steps"
+                + (f", artifact {detail.get('artifact')}" if artifacts_dir
+                   else "") + ")",
+                detail=detail,
+            ))
+        elif result.truncated:
+            report.add(Finding(
+                "model", "truncated", "",
+                f"state cap reached after {result.states} states: the "
+                "model was NOT exhaustively verified",
+                severity=SEV_INFO,
+            ))
+
+    report.apply_suppressions(SUPPRESSIONS)
+    return report
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    try:
+        if args.write_inventory is not None:
+            from repro.protocol import extensions
+            from repro.protocol.handlers import build_handler_table
+
+            from repro.analyze.absint import run_static_pass
+            from repro.analyze.inventory import write_inventory
+
+            table = build_handler_table()
+            extensions.install(table)
+            _, inventory = run_static_pass(table)
+            path = write_inventory(args.write_inventory, inventory)
+            print(f"wrote {path}")
+            return 0
+        report = build_report(
+            jobs=args.jobs,
+            max_nodes=args.max_nodes,
+            max_states=args.max_states,
+            loads=args.loads,
+            stores=args.stores,
+            run_model=not args.no_model,
+            artifacts_dir=args.artifacts,
+        )
+    except ConfigError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(format_report(report, verbose=args.verbose))
+    return 0 if report.clean else 1

@@ -1,0 +1,954 @@
+"""Pass 3: exhaustive small-model checking of the real handler table.
+
+An explicit-state BFS over a tiny abstract machine — 2 or 3 nodes, one
+application line homed at node 0 — whose *protocol* side is the actual
+handler programs executed instruction-by-instruction through
+:class:`repro.protocol.semantics.FunctionalRunner`, with the uncached
+operations (SENDH/SENDA/PROBE/COMPLETE/RESEND/MEMWR) mirrored from
+:class:`repro.memctrl.controller.MemoryController` and the cache/MSHR
+side mirrored from :class:`repro.caches.hierarchy.CacheHierarchy`.
+Timing is abstracted away; every interleaving of message arrivals,
+issue events, and evictions is explored.
+
+Invariants (the same ones :mod:`repro.fuzz.sanitizer` checks online):
+
+* **SWMR** — at most one *writable* (EXCLUSIVE/MODIFIED) copy ever
+  exists.  Stale SHARED copies transiently coexisting with a writable
+  copy are the protocol's documented eager-exclusive relaxation and
+  are allowed.
+* **Data value** — the k-th store machine-wide leaves the owning copy
+  at version k; a store landing on a stale base is a lost update.
+* **No stuck states** — an MSHR with no message in flight anywhere can
+  never complete: deadlock.
+* **Directory health** — entries always decode to a legal state with
+  in-range owner/waiter/sharers, and at quiescence the directory
+  agrees with the caches (owner recorded iff a writable copy exists,
+  no BUSY leftovers, no lost updates).
+* **No traps** — a reachable TRAP is a protocol violation by
+  definition.
+
+Counterexamples serialize through :mod:`repro.fuzz.artifact` (the
+issue events become ``FuzzOp`` records, the full transition trace
+becomes the artifact's trace tail) so ``repro fuzz --replay`` can
+re-drive the concrete machine along the same op sequence.
+
+Deliberate model simplifications, documented:
+
+* one line, so cache-capacity conflicts do not exist; evictions and
+  silent SHARED drops are explicit transitions instead,
+* loads that hit do not appear as transitions (no protocol effect),
+* atomics/prefetches and the active-memory extension are out of the
+  issue alphabet,
+* NACK retries happen immediately (no backoff): livelock cycles are
+  finite state-graph cycles here, not detected as failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.network.messages import Message, MsgType, virtual_network
+from repro.protocol import directory as d
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.handlers import (
+    boot_registers,
+    build_handler_table,
+    header_acks,
+    header_peer,
+    header_requester,
+    header_type,
+)
+from repro.protocol.isa import ADDR, HDR, HandlerTable, POp, RESEND_AS_GETX
+from repro.protocol.semantics import FunctionalRunner
+from repro.memctrl.dispatch import handler_name_for, incoming_header
+from repro.protocol.handlers import PROBE_DISPATCH
+
+#: The one application line under test; homed at node 0 for the
+#: standard fuzz layout (local_memory_bytes = 1 << 22).
+LINE = 0x2000
+
+_MTYPE_BY_VALUE = {m.value: m for m in MsgType}
+
+_REPLY_NAMES = frozenset(
+    m.name
+    for m in (
+        MsgType.DATA_SHARED, MsgType.DATA_EXCL, MsgType.UPGRADE_ACK,
+        MsgType.INV_ACK, MsgType.WB_ACK, MsgType.NACK,
+        MsgType.NACK_UPGRADE, MsgType.AM_REPLY,
+    )
+)
+
+
+class MMsg(NamedTuple):
+    """An in-flight message (hashable mirror of network.Message)."""
+
+    mtype: str
+    src: int
+    dest: int
+    requester: int
+    version: int = 0
+    dirty: bool = False
+    acks: int = 0
+    found: bool = False
+    probe_kind: str = ""
+
+
+class MShr(NamedTuple):
+    """One node's (single) miss-status register for the line."""
+
+    kind: str  # 'read' | 'write'
+    request_upgrade: bool = False
+    upgrade_pending: bool = False
+    data_arrived: bool = False
+    writable: bool = False
+    version: int = 0
+    pending_acks: int = 0
+    inval_after_fill: bool = False
+    stores: int = 0  # store waiters to commit at completion
+    deferred: Tuple[MMsg, ...] = ()  # probes racing the in-flight fill
+    unissued: bool = False  # parked behind an unacknowledged PUT
+
+
+class MNode(NamedTuple):
+    cache: str  # '' (invalid) | 'S' | 'E' | 'M'
+    version: int = 0
+    mshr: Optional[MShr] = None
+    probes: Tuple[MMsg, ...] = ()  # node-internal L2 probe replies
+    lmi: Tuple[MMsg, ...] = ()  # local miss interface queue
+    loads: int = 0  # remaining load-issue budget
+    stores: int = 0  # remaining store-issue budget
+    wb_pending: bool = False  # PUT sent, WB_ACK not yet received
+
+
+class MState(NamedTuple):
+    nodes: Tuple[MNode, ...]
+    entry: int  # the line's directory entry (lives at home)
+    mem: int  # home memory version of the line
+    mem_set: bool  # has memory_versions ever been written?
+    count: int  # machine-wide committed store count
+    chans: Tuple[Tuple[MMsg, ...], ...]  # (src*n+dest)*3+vn FIFOs
+
+
+class ModelViolation(Exception):
+    """An invariant failed; ``status`` matches fuzz status classes."""
+
+    def __init__(self, code: str, message: str, status: str = "violation"):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
+class Violation(NamedTuple):
+    """A violation plus the transition trace that reaches it."""
+
+    code: str
+    status: str  # 'violation' | 'deadlock'
+    message: str
+    trace: Tuple[str, ...]
+
+
+class ExploreResult(NamedTuple):
+    states: int
+    transitions: int
+    truncated: bool
+    violation: Optional[Violation]
+
+
+def initial_state(n_nodes: int, loads: int, stores: int) -> MState:
+    nodes = tuple(
+        MNode(cache="", loads=loads, stores=stores) for _ in range(n_nodes)
+    )
+    chans = tuple(() for _ in range(n_nodes * n_nodes * 3))
+    return MState(nodes, d.encode(d.UNOWNED), 0, False, 0, chans)
+
+
+class _Sim:
+    """Mutable working copy of one MState, for applying a transition."""
+
+    def __init__(self, st: MState, layout: DirectoryLayout, table: HandlerTable):
+        self.layout = layout
+        self.table = table
+        self.n = len(st.nodes)
+        self.nodes = [n._asdict() for n in st.nodes]
+        for node in self.nodes:
+            node["probes"] = list(node["probes"])
+            node["lmi"] = list(node["lmi"])
+        self.entry = st.entry
+        self.mem = st.mem
+        self.mem_set = st.mem_set
+        self.count = st.count
+        self.chans = [list(q) for q in st.chans]
+        self.home = layout.home_of(LINE)
+
+    def freeze(self) -> MState:
+        nodes = tuple(
+            MNode(
+                cache=n["cache"], version=n["version"], mshr=n["mshr"],
+                probes=tuple(n["probes"]), lmi=tuple(n["lmi"]),
+                loads=n["loads"], stores=n["stores"],
+                wb_pending=n["wb_pending"],
+            )
+            for n in self.nodes
+        )
+        return MState(
+            nodes, self.entry, self.mem, self.mem_set, self.count,
+            tuple(tuple(q) for q in self.chans),
+        )
+
+    # -- message plumbing ----------------------------------------------
+
+    def chan(self, src: int, dest: int, vn: int) -> List[MMsg]:
+        return self.chans[(src * self.n + dest) * 3 + vn]
+
+    def route(self, msg: MMsg) -> None:
+        """Send ``msg`` the way the MC would."""
+        mtype = MsgType[msg.mtype]
+        if msg.dest == msg.src and msg.mtype not in _REPLY_NAMES:
+            # _deliver_local -> _enqueue_local for non-replies.
+            self.nodes[msg.src]["lmi"].append(msg)
+        else:
+            # Replies to self take a (src, src) channel: the real MC
+            # applies them after a delay, so other events interleave.
+            self.chan(msg.src, msg.dest, virtual_network(mtype)).append(msg)
+
+    # -- handler execution (the real programs) --------------------------
+
+    def run_handler(self, node_id: int, msg: MMsg) -> None:
+        if msg.mtype == "L2_PROBE_REPLY":
+            name = PROBE_DISPATCH[MsgType[msg.probe_kind]]
+        else:
+            name = handler_name_for(self._to_message(msg), node_id)
+        regs = boot_registers(self.layout, node_id)
+        regs[ADDR] = LINE
+        regs[HDR] = incoming_header(self._to_message(msg))
+        dir_addr = self.layout.dir_entry_addr(LINE)
+        pmem: Dict[int, int] = {}
+        if node_id == self.home:
+            pmem[dir_addr] = self.entry
+
+        latched: List[Optional[int]] = [None]
+
+        def on_uncached(instr, value: int) -> None:
+            op = instr.op
+            if op is POp.SENDH:
+                latched[0] = value
+            elif op is POp.SENDA:
+                if latched[0] is None:
+                    raise ModelViolation(
+                        "send-without-header",
+                        f"{name} at node {node_id}: SENDA with no header",
+                    )
+                self._execute_send(node_id, msg, latched[0])
+                latched[0] = None
+            elif op is POp.PROBE:
+                self._execute_probe(node_id, msg)
+            elif op is POp.COMPLETE:
+                self._apply_reply(node_id, msg)
+            elif op is POp.RESEND:
+                self._resend(node_id, as_getx=instr.imm == RESEND_AS_GETX)
+            elif op is POp.MEMWR:
+                if msg.dirty:
+                    self.mem = msg.version
+                    self.mem_set = True
+                elif not self.mem_set:
+                    self.mem = msg.version
+                    self.mem_set = True
+            elif op is POp.AMO:
+                pass  # atomics are outside the model's issue alphabet
+            # SWITCH/LDCTXT: sequencing only.
+
+        runner = FunctionalRunner(
+            regs, lambda a: pmem.get(a, 0), pmem.__setitem__, on_uncached
+        )
+        try:
+            runner.run(self.table[name])
+        except ProtocolError as exc:
+            raise ModelViolation("trap", f"{name} at node {node_id}: {exc}")
+        if node_id == self.home:
+            self.entry = pmem.get(dir_addr, self.entry)
+
+    def _to_message(self, msg: MMsg) -> Message:
+        m = Message(
+            MsgType[msg.mtype], LINE, src=msg.src, dest=msg.dest,
+            requester=msg.requester, version=msg.version, dirty=msg.dirty,
+            acks=msg.acks, found=msg.found,
+        )
+        if msg.probe_kind:
+            m.probe_kind = MsgType[msg.probe_kind]
+        return m
+
+    def _execute_send(self, node_id: int, ctx_msg: MMsg, header: int) -> None:
+        mtype = _MTYPE_BY_VALUE[header_type(header)]
+        out = MMsg(
+            mtype.name, src=node_id, dest=header_peer(header),
+            requester=header_requester(header), acks=header_acks(header),
+        )
+        if mtype in (MsgType.DATA_SHARED, MsgType.DATA_EXCL, MsgType.PUT,
+                     MsgType.SWB, MsgType.XFER):
+            if ctx_msg.mtype == "L2_PROBE_REPLY":
+                out = out._replace(version=ctx_msg.version, dirty=ctx_msg.dirty)
+            else:
+                out = out._replace(version=self.mem, dirty=False)
+        self.route(out)
+
+    def _execute_probe(self, node_id: int, ctx_msg: MMsg) -> None:
+        """Mirror hierarchy.probe + the MC's reply composition."""
+        probe_kind = ctx_msg.mtype  # INT_SHARED / INT_EXCL / INVAL
+        kind = {
+            "INT_SHARED": "downgrade",
+            "INT_EXCL": "inval_owner",
+            "INVAL": "inval",
+        }[probe_kind]
+        node = self.nodes[node_id]
+        if node["wb_pending"]:
+            # Writeback-buffer hit (hierarchy.probe): our PUT is in
+            # flight and unacknowledged, so the intervention targets
+            # the written-back copy.  Answer miss.
+            self._probe_reply(node_id, ctx_msg, False, False, 0)
+            return
+        mshr: Optional[MShr] = node["mshr"]
+        if mshr is not None and not self._complete(mshr):
+            if kind == "inval":
+                if node["cache"] == "":
+                    # Stale INVAL racing our re-fetch: early-ack, and
+                    # discard a non-writable fill afterwards.
+                    node["mshr"] = mshr._replace(inval_after_fill=True)
+                    self._probe_reply(node_id, ctx_msg, False, False, 0)
+                    return
+                # INVAL racing an in-flight upgrade hits the
+                # still-present SHARED copy immediately.
+            else:
+                node["mshr"] = mshr._replace(
+                    deferred=mshr.deferred + (ctx_msg,)
+                )
+                return
+        found, dirty, version = self._do_probe(node_id, kind)
+        self._probe_reply(node_id, ctx_msg, found, dirty, version)
+
+    def _do_probe(self, node_id: int, kind: str) -> Tuple[bool, bool, int]:
+        node = self.nodes[node_id]
+        if node["cache"] == "":
+            return False, False, 0
+        if kind == "inval" and node["cache"] in ("E", "M"):
+            # Stale INVAL: a later transaction made us owner.  Ack and
+            # keep the copy.
+            return False, False, 0
+        dirty = node["cache"] == "M"
+        version = node["version"]
+        if kind in ("inval", "inval_owner"):
+            node["cache"] = ""
+        else:  # downgrade
+            node["cache"] = "S"
+        return True, dirty, version
+
+    def _probe_reply(
+        self, node_id: int, origin: MMsg, found: bool, dirty: bool, version: int
+    ) -> None:
+        self.nodes[node_id]["probes"].append(MMsg(
+            "L2_PROBE_REPLY", src=origin.src, dest=node_id,
+            requester=origin.requester, version=version, dirty=dirty,
+            found=found, probe_kind=origin.mtype,
+        ))
+
+    # -- reply application (mirror of MC._apply_reply + hierarchy) ------
+
+    @staticmethod
+    def _complete(mshr: MShr) -> bool:
+        return (
+            mshr.data_arrived
+            and mshr.pending_acks == 0
+            and not mshr.upgrade_pending
+        )
+
+    def _apply_reply(self, node_id: int, msg: MMsg) -> None:
+        mtype = msg.mtype
+        if mtype == "DATA_SHARED":
+            self._refill(node_id, False, msg.version, msg.acks, False)
+        elif mtype == "DATA_EXCL":
+            self._refill(node_id, True, msg.version, msg.acks, msg.dirty)
+        elif mtype == "UPGRADE_ACK":
+            node = self.nodes[node_id]
+            if node["mshr"] is None:
+                raise ModelViolation(
+                    "reply-no-mshr", f"node {node_id}: upgrade ack, no MSHR"
+                )
+            version = node["version"] if node["cache"] else 0
+            self._data_reply(node_id, version, True, msg.acks)
+            self._maybe_complete(node_id, dirty=False)
+        elif mtype == "INV_ACK":
+            node = self.nodes[node_id]
+            if node["mshr"] is None:
+                raise ModelViolation(
+                    "reply-no-mshr", f"node {node_id}: inval ack, no MSHR"
+                )
+            node["mshr"] = node["mshr"]._replace(
+                pending_acks=node["mshr"].pending_acks - 1
+            )
+            self._maybe_complete(node_id, dirty=False)
+        elif mtype == "WB_ACK":
+            node = self.nodes[node_id]
+            node["wb_pending"] = False
+            mshr = node["mshr"]
+            if mshr is not None and mshr.unissued:
+                # The parked miss issues now (hierarchy.wb_ack).
+                node["mshr"] = mshr._replace(unissued=False)
+                self._request(node_id)
+        elif mtype == "NACK":
+            self._resend(node_id, as_getx=False)
+        elif mtype == "NACK_UPGRADE":
+            self._resend(node_id, as_getx=True)
+        else:
+            raise ModelViolation("bad-reply", f"not a reply: {mtype}")
+
+    def _refill(
+        self, node_id: int, writable: bool, version: int, acks: int, dirty: bool
+    ) -> None:
+        node = self.nodes[node_id]
+        if node["mshr"] is None:
+            raise ModelViolation(
+                "refill-no-mshr", f"node {node_id}: refill with no MSHR"
+            )
+        self._data_reply(node_id, version, writable, acks)
+        mshr = node["mshr"]
+        if mshr.upgrade_pending and mshr.data_arrived and not writable:
+            self._convert_to_upgrade(node_id)
+            return
+        self._maybe_complete(node_id, dirty)
+
+    def _data_reply(
+        self, node_id: int, version: int, writable: bool, acks: int
+    ) -> None:
+        mshr = self.nodes[node_id]["mshr"]
+        upgrade_pending = mshr.upgrade_pending and not writable
+        self.nodes[node_id]["mshr"] = mshr._replace(
+            data_arrived=True, version=version, writable=writable,
+            pending_acks=mshr.pending_acks + acks,
+            upgrade_pending=upgrade_pending,
+        )
+
+    def _convert_to_upgrade(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        mshr = node["mshr"]
+        if node["cache"] == "":
+            node["cache"] = "S"
+            node["version"] = mshr.version
+        node["mshr"] = mshr._replace(
+            kind="write", upgrade_pending=False, request_upgrade=True,
+            data_arrived=False, writable=False,
+        )
+        self._request(node_id)
+
+    def _maybe_complete(self, node_id: int, dirty: bool) -> None:
+        node = self.nodes[node_id]
+        mshr = node["mshr"]
+        if not self._complete(mshr):
+            return
+        if mshr.request_upgrade:
+            if node["cache"] == "":
+                raise ModelViolation(
+                    "upgrade-lost-copy",
+                    f"node {node_id}: upgrade completed but the pinned "
+                    "SHARED copy is gone",
+                )
+            node["cache"] = "M" if dirty else "E"
+        else:
+            state = "M" if dirty else ("E" if mshr.writable else "S")
+            if node["cache"] == "":
+                node["cache"] = state
+                node["version"] = mshr.version
+            elif state in ("E", "M") and node["cache"] == "S":
+                # A lost upgrade retried as a full GETX: promote.
+                node["cache"] = state
+                node["version"] = max(node["version"], mshr.version)
+        node["mshr"] = None
+        for _ in range(mshr.stores):
+            self._commit_store(node_id)
+        if mshr.inval_after_fill and node["cache"] == "S":
+            node["cache"] = ""  # the early-acked INVAL lands now
+        for probe in mshr.deferred:
+            kind = {
+                "INT_SHARED": "downgrade",
+                "INT_EXCL": "inval_owner",
+                "INVAL": "inval",
+            }[probe.mtype]
+            found, dty, version = self._do_probe(node_id, kind)
+            self._probe_reply(node_id, probe, found, dty, version)
+
+    def _resend(self, node_id: int, as_getx: bool) -> None:
+        node = self.nodes[node_id]
+        mshr = node["mshr"]
+        if mshr is None:
+            return  # stale NACK: transaction already completed
+        if as_getx:
+            mshr = mshr._replace(request_upgrade=False)
+            node["mshr"] = mshr
+        if mshr.request_upgrade:
+            mtype = "UPGRADE"
+        elif mshr.kind == "write":
+            mtype = "GETX"
+        else:
+            mtype = "GET"
+        msg = MMsg(mtype, src=node_id, dest=self.home, requester=node_id)
+        if self.home == node_id:
+            node["lmi"].append(msg)
+        else:
+            self.chan(node_id, self.home, 0).append(msg)
+
+    # -- issue / eviction side ------------------------------------------
+
+    def _request(self, node_id: int) -> None:
+        """Mirror of hierarchy._issue_app_miss + MC.app_miss: compose
+        the request for the current MSHR and enqueue it locally — or
+        park it while our PUT for the line is unacknowledged."""
+        node = self.nodes[node_id]
+        mshr = node["mshr"]
+        if node["wb_pending"]:
+            node["mshr"] = mshr._replace(unissued=True)
+            return
+        if mshr.request_upgrade:
+            mtype = "UPGRADE"
+        elif mshr.kind == "write":
+            mtype = "GETX"
+        else:
+            mtype = "GET"
+        node["lmi"].append(MMsg(
+            mtype, src=node_id, dest=self.home, requester=node_id
+        ))
+
+    def _commit_store(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        for other_id, other in enumerate(self.nodes):
+            if other_id != node_id and other["cache"] in ("E", "M"):
+                raise ModelViolation(
+                    "swmr",
+                    f"store at node {node_id} while node {other_id} also "
+                    "holds a writable copy",
+                )
+        if node["cache"] not in ("E", "M"):
+            raise ModelViolation(
+                "store-no-copy",
+                f"node {node_id} committed a store without a writable copy",
+            )
+        self.count += 1
+        node["version"] += 1
+        node["cache"] = "M"
+        if node["version"] != self.count:
+            raise ModelViolation(
+                "data-value",
+                f"store #{self.count} left version {node['version']}: "
+                "the store landed on a stale copy",
+            )
+
+    def issue_load(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        node["loads"] -= 1
+        node["mshr"] = MShr(kind="read")
+        self._request(node_id)
+
+    def issue_store(self, node_id: int) -> str:
+        node = self.nodes[node_id]
+        node["stores"] -= 1
+        if node["mshr"] is not None:
+            # Merge onto the in-flight read: ownership upgrade follows
+            # the (possibly SHARED) fill.
+            node["mshr"] = node["mshr"]._replace(
+                upgrade_pending=True, stores=node["mshr"].stores + 1
+            )
+            return "merge"
+        if node["cache"] in ("E", "M"):
+            self._commit_store(node_id)
+            return "hit"
+        if node["cache"] == "S":
+            node["mshr"] = MShr(kind="write", request_upgrade=True, stores=1)
+            self._request(node_id)
+            return "upgrade"
+        node["mshr"] = MShr(kind="write", stores=1)
+        self._request(node_id)
+        return "miss"
+
+    def evict(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        dirty = node["cache"] == "M"
+        version = node["version"]
+        node["cache"] = ""
+        node["wb_pending"] = True
+        msg = MMsg(
+            "PUT", src=node_id, dest=self.home, requester=node_id,
+            version=version, dirty=dirty,
+        )
+        if self.home == node_id:
+            node["lmi"].append(msg)
+        else:
+            self.chan(node_id, self.home, virtual_network(MsgType.PUT)).append(msg)
+
+    def drop(self, node_id: int) -> None:
+        self.nodes[node_id]["cache"] = ""
+
+
+# ----------------------------------------------------------------------
+# Invariants over whole states
+# ----------------------------------------------------------------------
+
+
+def check_state(st: MState, n_nodes: int) -> None:
+    """Raise ModelViolation if ``st`` breaks a global invariant."""
+    state = d.state_of(st.entry)
+    if state not in (
+        d.UNOWNED, d.SHARED, d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE
+    ):
+        raise ModelViolation(
+            "bad-directory", f"directory entry decodes to state {state}"
+        )
+    if state in (d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
+        if d.owner_of(st.entry) >= n_nodes:
+            raise ModelViolation(
+                "bad-directory",
+                f"owner {d.owner_of(st.entry)} out of range",
+            )
+    if state == d.SHARED and d.vector_of(st.entry) >> n_nodes:
+        raise ModelViolation(
+            "bad-directory",
+            f"sharer vector {d.vector_of(st.entry):#x} names absent nodes",
+        )
+    writable = [i for i, n in enumerate(st.nodes) if n.cache in ("E", "M")]
+    if len(writable) > 1:
+        raise ModelViolation(
+            "swmr", f"nodes {writable} hold writable copies simultaneously"
+        )
+
+    in_flight = (
+        any(st.chans)
+        or any(n.lmi or n.probes for n in st.nodes)
+    )
+    mshrs = [i for i, n in enumerate(st.nodes) if n.mshr is not None]
+    waiting = mshrs + [
+        i for i, n in enumerate(st.nodes)
+        if n.wb_pending and n.mshr is None
+    ]
+    if waiting and not in_flight:
+        raise ModelViolation(
+            "stuck",
+            f"nodes {waiting} wait on MSHRs or WB_ACKs but no message "
+            "is in flight anywhere: the transaction can never complete",
+            status="deadlock",
+        )
+    if not in_flight and not waiting:
+        _check_quiescent(st, n_nodes, writable, state)
+
+
+def _check_quiescent(
+    st: MState, n_nodes: int, writable: List[int], state: int
+) -> None:
+    if state in (d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
+        raise ModelViolation(
+            "stuck-directory",
+            "quiescent machine left the directory BUSY: a transaction "
+            "evaporated without resolving",
+            status="deadlock",
+        )
+    if writable:
+        owner = writable[0]
+        if state != d.EXCLUSIVE or d.owner_of(st.entry) != owner:
+            raise ModelViolation(
+                "dir-cache-mismatch",
+                f"node {owner} holds a writable copy but the directory "
+                f"says {d.describe(st.entry)}",
+            )
+        if st.nodes[owner].version != st.count:
+            raise ModelViolation(
+                "data-value",
+                f"quiescent owner copy at version "
+                f"{st.nodes[owner].version}, {st.count} stores committed",
+            )
+    else:
+        if state == d.EXCLUSIVE:
+            raise ModelViolation(
+                "dir-cache-mismatch",
+                f"directory says {d.describe(st.entry)} but no writable "
+                "copy exists",
+            )
+        if st.mem != st.count:
+            raise ModelViolation(
+                "data-value",
+                f"quiescent memory at version {st.mem}, {st.count} "
+                "stores committed: updates were lost",
+            )
+
+
+# ----------------------------------------------------------------------
+# Transition relation
+# ----------------------------------------------------------------------
+
+
+def successors(
+    st: MState, layout: DirectoryLayout, table: HandlerTable
+) -> List[Tuple[str, MState]]:
+    """All (label, next-state) pairs from ``st``.
+
+    Raises ModelViolation (with no trace attached — the caller knows
+    the path) if applying a transition breaks an invariant.
+    """
+    out: List[Tuple[str, MState]] = []
+    n = len(st.nodes)
+
+    def apply(label: str, fn) -> None:
+        sim = _Sim(st, layout, table)
+        try:
+            fn(sim)
+            nxt = sim.freeze()
+            check_state(nxt, n)
+        except ModelViolation as exc:
+            exc.label = label  # type: ignore[attr-defined]
+            raise
+        out.append((label, nxt))
+
+    for i, node in enumerate(st.nodes):
+        # Issue alphabet.
+        if node.loads > 0 and node.cache == "" and node.mshr is None:
+            apply(f"n{i}: load", lambda s, i=i: s.issue_load(i))
+        if node.stores > 0 and (
+            node.mshr is not None and node.mshr.kind == "read"
+            and not node.mshr.upgrade_pending
+            or node.mshr is None
+        ):
+            apply(f"n{i}: store", lambda s, i=i: s.issue_store(i))
+        # Evictions / silent drops.
+        if node.mshr is None and node.cache in ("E", "M"):
+            apply(f"n{i}: evict", lambda s, i=i: s.evict(i))
+        if node.mshr is None and node.cache == "S":
+            apply(f"n{i}: drop", lambda s, i=i: s.drop(i))
+        # Dispatch: probe replies have absolute priority (they are
+        # node-internal, so there is no arrival race to model).
+        if node.probes:
+            msg = node.probes[0]
+
+            def fire_probe(s, i=i):
+                m = s.nodes[i]["probes"].pop(0)
+                s.run_handler(i, m)
+
+            apply(f"n{i}: dispatch {msg.probe_kind} reply", fire_probe)
+            continue
+        if node.lmi:
+            msg = node.lmi[0]
+
+            def fire_lmi(s, i=i):
+                m = s.nodes[i]["lmi"].pop(0)
+                s.run_handler(i, m)
+
+            apply(f"n{i}: dispatch {msg.mtype} (local)", fire_lmi)
+        for src in range(n):
+            for vn in (0, 1, 2):
+                ci = (src * n + i) * 3 + vn
+                if not st.chans[ci]:
+                    continue
+                msg = st.chans[ci][0]
+
+                def fire_net(s, ci=ci, i=i):
+                    m = s.chans[ci].pop(0)
+                    s.run_handler(i, m)
+
+                apply(
+                    f"n{i}: dispatch {msg.mtype} from n{src}/vn{vn}",
+                    fire_net,
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Explicit-state BFS (sequential core + pool_map partitioning)
+# ----------------------------------------------------------------------
+
+
+def _bfs(
+    roots: List[Tuple[MState, Tuple[str, ...]]],
+    layout: DirectoryLayout,
+    table: HandlerTable,
+    max_states: int,
+) -> ExploreResult:
+    visited = {st for st, _ in roots}
+    frontier = deque(roots)
+    transitions = 0
+    truncated = False
+    while frontier:
+        st, trace = frontier.popleft()
+        try:
+            succ = successors(st, layout, table)
+        except ModelViolation as exc:
+            label = getattr(exc, "label", "?")
+            return ExploreResult(
+                len(visited), transitions, truncated,
+                Violation(exc.code, exc.status, str(exc), trace + (label,)),
+            )
+        for label, nxt in succ:
+            transitions += 1
+            if nxt in visited:
+                continue
+            if len(visited) >= max_states:
+                truncated = True
+                continue
+            visited.add(nxt)
+            frontier.append((nxt, trace + (label,)))
+    return ExploreResult(len(visited), transitions, truncated, None)
+
+
+def _explore_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """pool_map worker: explore one frontier partition exhaustively."""
+    result = _bfs(
+        [(st, tuple(trace)) for st, trace in payload["roots"]],
+        payload["layout"],
+        payload["table"],
+        payload["max_states"],
+    )
+    return {
+        "states": result.states,
+        "transitions": result.transitions,
+        "truncated": result.truncated,
+        "violation": result.violation,
+    }
+
+
+def check_model(
+    n_nodes: int = 2,
+    loads: int = 1,
+    stores: int = 1,
+    jobs: int = 1,
+    max_states: int = 400_000,
+    table: Optional[HandlerTable] = None,
+    layout: Optional[DirectoryLayout] = None,
+) -> ExploreResult:
+    """Exhaustively explore the n-node 1-line machine.
+
+    With ``jobs > 1`` the BFS frontier is expanded inline until it has
+    at least ``4 * jobs`` states, then partitioned round-robin across
+    ``pool_map`` workers, each exploring its subtree with a private
+    visited set (duplicated work across workers is possible; missed
+    states are not).
+    """
+    if not 2 <= n_nodes <= 3:
+        raise ConfigError(f"model checker supports 2-3 nodes, not {n_nodes}")
+    if loads < 0 or stores < 0 or max_states <= 0:
+        raise ConfigError("loads/stores must be >= 0, max_states > 0")
+    if table is None:
+        from repro.protocol import extensions
+
+        table = build_handler_table()
+        extensions.install(table)
+    if layout is None:
+        layout = DirectoryLayout(
+            local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
+        )
+
+    init = initial_state(n_nodes, loads, stores)
+    if jobs <= 1:
+        return _bfs([(init, ())], layout, table, max_states)
+
+    # Inline expansion until the frontier is wide enough to partition.
+    visited = {init}
+    frontier: deque = deque([(init, ())])
+    transitions = 0
+    while frontier and len(frontier) < 4 * jobs and len(visited) < 4096:
+        st, trace = frontier.popleft()
+        try:
+            succ = successors(st, layout, table)
+        except ModelViolation as exc:
+            label = getattr(exc, "label", "?")
+            return ExploreResult(
+                len(visited), transitions, False,
+                Violation(exc.code, exc.status, str(exc), trace + (label,)),
+            )
+        for label, nxt in succ:
+            transitions += 1
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append((nxt, trace + (label,)))
+    if not frontier:
+        return ExploreResult(len(visited), transitions, False, None)
+
+    from repro.sim.sweep import pool_map
+
+    roots = list(frontier)
+    pending = []
+    for w in range(jobs):
+        part = roots[w::jobs]
+        if part:
+            pending.append((w, {
+                "roots": part,
+                "layout": layout,
+                "table": table,
+                "max_states": max_states,
+            }))
+    outcomes: List[Dict[str, object]] = []
+
+    def on_done(ident, payload, outcome, elapsed, attempts) -> None:
+        outcomes.append(outcome or {"_pool_status": "crashed"})
+
+    pool_map(pending, _explore_payload, jobs=jobs, on_done=on_done)
+
+    states = len(visited)
+    truncated = False
+    violation: Optional[Violation] = None
+    for outcome in outcomes:
+        if outcome.get("_pool_status"):
+            raise ConfigError(
+                f"model-check worker failed: {outcome['_pool_status']}"
+            )
+        states += int(outcome["states"])
+        transitions += int(outcome["transitions"])
+        truncated = truncated or bool(outcome["truncated"])
+        v = outcome["violation"]
+        if v is not None and (
+            violation is None or len(v.trace) < len(violation.trace)
+        ):
+            violation = v
+    return ExploreResult(states, transitions, truncated, violation)
+
+
+# ----------------------------------------------------------------------
+# Counterexample serialization (repro.fuzz.artifact pipeline)
+# ----------------------------------------------------------------------
+
+
+def counterexample_artifact(path, violation: Violation, n_nodes: int):
+    """Write ``violation`` as a replayable fuzz artifact.
+
+    The issue events in the trace become the op list (strictly
+    serialized: ``max_outstanding=1``); evictions and message
+    schedules are beyond ``run_ops``'s control, so replay re-drives
+    the same traffic but reproduction of schedule-dependent bugs is
+    best-effort.  Handler-table bugs (the mutation tests' kind)
+    reproduce deterministically.
+    """
+    from repro.fuzz.artifact import write_artifact
+    from repro.fuzz.campaign import FuzzCell
+    from repro.fuzz.stress import FuzzOp, StressConfig
+
+    ops: List[FuzzOp] = []
+    for step in violation.trace:
+        node, _, action = step.partition(": ")
+        if action == "load":
+            ops.append(FuzzOp(int(node[1:]), "load", LINE))
+        elif action == "store":
+            ops.append(FuzzOp(int(node[1:]), "store", LINE, arg=len(ops) + 1))
+    cell = FuzzCell(
+        seed=0,
+        model="base",
+        n_nodes=n_nodes,
+        stress=StressConfig(
+            n_ops=max(1, len(ops)), n_lines=1, max_outstanding=1
+        ),
+        max_cycles=500_000,
+    )
+    trace = [{"step": i, "label": label}
+             for i, label in enumerate(violation.trace)]
+    return write_artifact(
+        path,
+        cell,
+        ops,
+        status=violation.status,
+        error=f"[model/{violation.code}] {violation}",
+        error_type="ModelCheckViolation",
+        snapshot=None,
+        trace=trace,
+    )

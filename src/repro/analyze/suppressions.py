@@ -1,0 +1,101 @@
+"""Justified suppressions for analyzer findings.
+
+Every entry here is a finding the analyzer is *right* to raise and a
+human has argued down in writing.  The seed table's three TRAPs are
+the canonical case: they guard (state, msg) pairs the protocol's
+serialization discipline makes unreachable, and pass 3 (the
+exhaustive small-model checker) is the standing evidence — it
+explores every interleaving of the issue alphabet and never reaches
+them.  A suppression without that kind of argument is a bug filed
+against the author.
+
+Suppressions match on (pass, code, handler) plus, optionally, the
+enumerated directory-state label, so a *new* trap path in a handler
+with an existing suppression still surfaces unless its exact pair is
+listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analyze.findings import Finding
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One suppressed finding class, with its justification."""
+
+    pass_name: str
+    code: str
+    handler: str
+    reason: str
+    #: When set, only findings whose ``detail["state"]`` label starts
+    #: with one of these prefixes are suppressed.
+    states: Optional[Tuple[str, ...]] = None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.pass_name != self.pass_name or finding.code != self.code:
+            return False
+        if self.handler not in ("*", finding.handler):
+            return False
+        if self.states is not None:
+            label = str(finding.detail.get("state", ""))
+            return any(label.startswith(p) for p in self.states)
+        return True
+
+
+#: The shipped suppression list.  Keep reasons specific: name the
+#: serialization argument, not just "can't happen".
+SUPPRESSIONS: Tuple[Suppression, ...] = (
+    Suppression(
+        "dispatch", "trap-reachable", "h_put",
+        reason=(
+            "PUT is only composed by the writeback port, and only for a "
+            "writable (EXCLUSIVE/MODIFIED) copy; the directory recorded "
+            "that ownership when it granted it, so at PUT-arrival time "
+            "the writer is the recorded owner (EXCLUSIVE or BUSY_* "
+            "race) or the recorded waiter of a BUSY_* entry (late PUT "
+            "that overtook the XFER revision — handled by the 'late' "
+            "arm).  UNOWNED/SHARED/foreign-owner PUTs cannot be "
+            "produced; the model checker explores every eviction "
+            "interleaving and never reaches this trap."
+        ),
+        states=(
+            "UNOWNED", "SHARED{", "EXCLUSIVE(owner=other)",
+        ),
+    ),
+    Suppression(
+        "dispatch", "trap-reachable", "h_int_nack",
+        reason=(
+            "INT_NACK is composed only by a probed node whose probe "
+            "found no copy, and a probe is only outstanding while the "
+            "home holds the entry BUSY_* for that transaction.  The "
+            "probed node can only have lost its copy via a writeback "
+            "whose PUT precedes the INT_NACK on the same (src, home, "
+            "VN2) FIFO, and h_put's absorb arm keeps the entry BUSY "
+            "(withholding the WB_ACK) precisely so this INT_NACK still "
+            "finds the parked transaction.  A non-BUSY INT_NACK is "
+            "therefore impossible by construction (verified by the "
+            "model checker's eviction interleavings)."
+        ),
+        states=(
+            "UNOWNED", "SHARED{", "EXCLUSIVE(",
+        ),
+    ),
+    Suppression(
+        "dispatch", "trap-reachable", "h_swb",
+        reason=(
+            "SWB (sharing writeback) is composed exclusively by "
+            "h_probe_sh_done, i.e. only after the home parked the entry "
+            "in BUSY_SHARED and sent the INT_SHARED that produced the "
+            "probe reply; VN2 delivery cannot overtake that "
+            "serialization, so a non-BUSY_SHARED SWB is impossible by "
+            "construction (verified by the model checker)."
+        ),
+        states=(
+            "UNOWNED", "SHARED{", "EXCLUSIVE(", "BUSY_EXCLUSIVE(",
+        ),
+    ),
+)

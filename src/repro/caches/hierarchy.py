@@ -126,6 +126,14 @@ class CacheHierarchy:
         self.mshrs = MSHRFile(self.pp.mshrs, protocol_reserved=proto_res)
         # Deferred probes per line: (kind, on_response).
         self._deferred_probes: Dict[int, List[Tuple[str, ProbeResponse]]] = {}
+        # Writeback buffer: lines with a PUT sent but not yet WB_ACKed.
+        # While a line is pending here, (a) no new request for it is
+        # issued (a racing miss parks as the dict value and issues on
+        # wb_ack), and (b) interventions for it answer "not found" —
+        # they target the copy the PUT already carried away.  The home
+        # withholds WB_ACK until no intervention is outstanding, so a
+        # pending writeback is proof an arriving intervention is stale.
+        self._wb_pending: Dict[int, Optional[MSHREntry]] = {}
 
         self.itlb = _TLB(self.pp.itlb_entries, self.pp.page_bytes)
         self.dtlb = _TLB(self.pp.dtlb_entries, self.pp.page_bytes)
@@ -285,7 +293,7 @@ class CacheHierarchy:
         entry = self.mshrs.allocate(la, kind, protocol=False, store=False)
         if entry is None:
             return  # MSHRs full: drop
-        self.app_miss_port(entry)
+        self._issue_app_miss(entry)
         entry.issued = True
 
     def ifetch(self, pc: int, protocol: bool, on_complete: Callable[[], None]):
@@ -393,6 +401,15 @@ class CacheHierarchy:
         round trip) with (found, dirty, version).  Probes racing an
         in-flight fill of the same line are deferred until the fill.
         """
+        if line_addr in self._wb_pending:
+            # Writeback-buffer hit: our PUT for this line is in flight
+            # and unacknowledged, so this intervention targets the copy
+            # the PUT already carried away.  Answer "not found"; any
+            # parked miss of ours is serialized after this transaction.
+            self.schedule(
+                self.pp.l2.hit_latency, lambda: on_response(False, False, 0)
+            )
+            return
         entry = self.mshrs.get(line_addr)
         if entry is not None and not entry.complete:
             if kind == "inval":
@@ -421,6 +438,13 @@ class CacheHierarchy:
         self.schedule(
             self.pp.l2.hit_latency, lambda: self._do_probe(line_addr, kind, on_response)
         )
+
+    def wb_ack(self, line_addr: int) -> None:
+        """Home acknowledged our PUT: the line leaves the writeback
+        buffer, and a miss parked behind it issues now."""
+        entry = self._wb_pending.pop(line_addr, None)
+        if entry is not None and self.mshrs.get(line_addr) is entry:
+            self.app_miss_port(entry)
 
     def proto_refill(self, line_addr: int, version: int = 0) -> None:
         """Protocol-space line arrived over the dedicated SDRAM bus."""
@@ -578,10 +602,22 @@ class CacheHierarchy:
         else:
             if upgrade:
                 entry.kind = MissKind.WRITE
-            self.app_miss_port(entry)
+            self._issue_app_miss(entry)
         entry.issued = True
         self.stats.local_misses += 1
         return (MISS,)
+
+    def _issue_app_miss(self, entry: MSHREntry) -> None:
+        """Hand an application miss to the MC — unless the line sits
+        in the writeback buffer, in which case it parks until wb_ack
+        (issuing before the PUT is acknowledged would let the home
+        re-grant us the line while the old PUT can still erase the new
+        grant's ownership record)."""
+        la = entry.line_addr
+        if la in self._wb_pending:
+            self._wb_pending[la] = entry
+        else:
+            self.app_miss_port(entry)
 
     def _wake(self, waiter: _Waiter, version: int) -> None:
         if waiter.is_store:
@@ -614,7 +650,7 @@ class CacheHierarchy:
         entry.request_upgrade = True
         entry.data_arrived = False
         entry.data_state_writable = False
-        self.app_miss_port(entry)
+        self._issue_app_miss(entry)
 
     def _maybe_complete(self, entry: MSHREntry, dirty: bool) -> None:
         if not entry.complete:
@@ -695,6 +731,7 @@ class CacheHierarchy:
             # must learn ownership ended (avoids the intervention/PUT
             # deadlock described in DESIGN.md).
             self.stats.l2.writebacks += 1
+            self._wb_pending[victim_addr] = None
             self.writeback_port(victim_addr, victim.version, victim.dirty)
 
     def _do_probe(self, line_addr: int, kind: str, on_response: ProbeResponse) -> None:

@@ -100,14 +100,20 @@ class MSHRFile:
         return self.app_entries + self.store_extra + self.protocol_reserved
 
     def _can_allocate(self, protocol: bool, store: bool) -> bool:
+        # Protocol overflow beyond its reserve occupies shared slots, so
+        # every class's admission check must charge the same pool —
+        # otherwise interleaved store/app allocations overcommit the
+        # file past total_capacity.
+        spill = max(0, self._proto_used - self.protocol_reserved)
+        shared = self._app_used + self._store_used + spill
         if protocol:
-            return self._proto_used < self.protocol_reserved or (
-                self._app_used + self._store_used + self._proto_used
-                < self.total_capacity
+            return (
+                self._proto_used < self.protocol_reserved
+                or shared < self.app_entries + self.store_extra
             )
         if store:
-            return self._app_used + self._store_used < self.app_entries + self.store_extra
-        return self._app_used < self.app_entries
+            return shared < self.app_entries + self.store_extra
+        return shared < self.app_entries
 
     def __len__(self) -> int:
         return len(self.entries)

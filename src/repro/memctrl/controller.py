@@ -367,7 +367,7 @@ class MemoryController:
         elif mtype is MsgType.INV_ACK:
             self.hierarchy.inval_ack(msg.addr)
         elif mtype is MsgType.WB_ACK:
-            pass
+            self.hierarchy.wb_ack(msg.addr)
         elif mtype is MsgType.AM_REPLY:
             waiters = self._am_pending.get(msg.addr)
             if not waiters:

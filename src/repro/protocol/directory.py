@@ -43,6 +43,12 @@ OWNER_SHIFT = 3
 OWNER_MASK = 0x3F
 WAITER_SHIFT = 9
 WAITER_MASK = 0x3F
+#: "XFER debt": set by h_put's late arm when a writeback resolves a
+#: BUSY transaction whose XFER revision is still in flight.  While
+#: set, the entry is otherwise UNOWNED and h_get/h_getx NACK, so no
+#: look-alike transaction can start; h_xfer consumes the bit instead
+#: of interpreting the stale revision.
+XFER_DEBT_SHIFT = 15
 VECTOR_SHIFT = 16
 
 STATE_NAMES = {
@@ -84,6 +90,10 @@ def vector_of(entry: int) -> int:
     return entry >> VECTOR_SHIFT
 
 
+def xfer_debt(entry: int) -> bool:
+    return bool((entry >> XFER_DEBT_SHIFT) & 1)
+
+
 def sharers_of(entry: int) -> List[int]:
     vec = vector_of(entry)
     out = []
@@ -97,9 +107,10 @@ def sharers_of(entry: int) -> List[int]:
 
 
 def describe(entry: int) -> str:
+    debt = " xfer-debt" if xfer_debt(entry) else ""
     return (
         f"{STATE_NAMES.get(state_of(entry), '?')} owner={owner_of(entry)} "
-        f"waiter={waiter_of(entry)} sharers={sharers_of(entry)}"
+        f"waiter={waiter_of(entry)} sharers={sharers_of(entry)}{debt}"
     )
 
 

@@ -181,12 +181,16 @@ def clear_bit(h: HandlerBuilder, vec_reg: int, bit_reg: int, tmp: int = T5) -> N
 def build_h_get() -> Handler:
     h = HandlerBuilder("h_get")
     dir_prologue(h)
+    h.srli(T4, T1, d.XFER_DEBT_SHIFT)
+    h.andi(T4, T4, 1)
+    h.bnez(T4, "nack")  # stale XFER still owed: no new transaction
     h.beqz(T2, "unowned")
     h.seqi(T4, T2, d.SHARED)
     h.bnez(T4, "shared")
     h.seqi(T4, T2, d.EXCLUSIVE)
     h.bnez(T4, "exclusive")
-    # Busy: NACK the requester; it retries.
+    h.label("nack")
+    # Busy (or XFER debt outstanding): NACK the requester; it retries.
     compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
     h.done()
 
@@ -222,9 +226,12 @@ def build_h_get() -> Handler:
     h.done()
 
     h.label("own_req")
-    # The directory already names the requester as owner (retry after a
-    # race): just resend the data.
-    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    # The recorded owner is requesting again: the only way it can miss
+    # while the directory still names it owner is an eviction whose
+    # PUT is in flight.  NACK until the PUT arrives and clears
+    # ownership — re-granting from memory here would hand out stale
+    # data and let the old PUT later erase the new grant's ownership.
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
     h.done()
     return h.build()
 
@@ -232,11 +239,15 @@ def build_h_get() -> Handler:
 def build_h_getx() -> Handler:
     h = HandlerBuilder("h_getx")
     dir_prologue(h)
+    h.srli(T4, T1, d.XFER_DEBT_SHIFT)
+    h.andi(T4, T4, 1)
+    h.bnez(T4, "nack")  # stale XFER still owed: no new transaction
     h.beqz(T2, "unowned")
     h.seqi(T4, T2, d.SHARED)
     h.bnez(T4, "shared")
     h.seqi(T4, T2, d.EXCLUSIVE)
     h.bnez(T4, "exclusive")
+    h.label("nack")
     compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
     h.done()
 
@@ -272,7 +283,8 @@ def build_h_getx() -> Handler:
     h.done()
 
     h.label("own_req")
-    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    # Writeback race: same reasoning as h_get's own_req arm.
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
     h.done()
     return h.build()
 
@@ -314,32 +326,57 @@ def build_h_put() -> Handler:
     h.srli(T4, T1, d.OWNER_SHIFT)
     h.andi(T4, T4, d.OWNER_MASK)
     h.seq(T5, T4, T3)
-    h.beqz(T5, "bad")
+    h.beqz(T5, "foreign")
     h.memwr()
     h.seqi(T5, T2, d.EXCLUSIVE)
     h.bnez(T5, "stable")
     h.seqi(T5, T2, d.BUSY_SHARED)
-    h.bnez(T5, "race")
+    h.bnez(T5, "absorb")
     h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
-    h.bnez(T5, "race")
+    h.bnez(T5, "absorb")
+    h.trap(1)
+    h.done()
+
+    h.label("absorb")
+    # The owner wrote back mid-transaction: the intervention in flight
+    # will find nothing and come back INT_NACK (behind this PUT on the
+    # same VN2 FIFO), and h_int_nack completes the waiter from the
+    # memory just updated.  Crucially the WB_ACK is withheld until
+    # then: an unacknowledged writeback is what lets the old owner
+    # answer the stale intervention "not found" and hold back new
+    # requests for the line.
+    h.done()
+
+    h.label("foreign")
+    # Writer is not the recorded owner.  The one legal case: a BUSY_*
+    # entry whose *waiter* is the writer — the newly granted owner
+    # evicted so fast its PUT overtook the old owner's revision
+    # message (XFER travels a different path).  Resolve the
+    # transaction here, but record the XFER debt: until the stale
+    # revision arrives and h_xfer consumes it, h_get/h_getx NACK so
+    # no look-alike BUSY transaction can resurrect it.  Any other
+    # writer is a protocol error.
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "late")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.beqz(T5, "bad")
+    h.label("late")
+    h.srli(T5, T1, d.WAITER_SHIFT)
+    h.andi(T5, T5, d.WAITER_MASK)
+    h.seq(T5, T5, T3)
+    h.beqz(T5, "bad")
+    h.memwr()
+    h.li(T5, 1)
+    h.slli(T5, T5, d.XFER_DEBT_SHIFT)
+    h.st(T5, T0)  # UNOWNED + XFER debt
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
     h.label("bad")
     h.trap(1)
     h.done()
 
     h.label("stable")
     h.st(ZERO, T0)  # UNOWNED
-    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
-    h.done()
-
-    h.label("race")
-    # The intervention in flight will find nothing; complete the waiter
-    # from memory right here (writeback race resolution).
-    h.srli(T5, T1, d.WAITER_SHIFT)
-    h.andi(T5, T5, d.WAITER_MASK)
-    h.slli(T6, T5, d.OWNER_SHIFT)
-    h.ori(T6, T6, d.EXCLUSIVE)
-    h.st(T6, T0)
-    compose_send(h, MsgType.DATA_EXCL, dest_reg=T5, req_reg=T5)
     compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
     h.done()
     return h.build()
@@ -373,22 +410,58 @@ def build_h_swb() -> Handler:
 def build_h_xfer() -> Handler:
     h = HandlerBuilder("h_xfer")
     dir_prologue(h)
+    h.srli(T4, T1, d.XFER_DEBT_SHIFT)
+    h.andi(T4, T4, 1)
+    h.bnez(T4, "consume")
     h.seqi(T4, T2, d.BUSY_EXCLUSIVE)
-    h.beqz(T4, "bad")
+    h.beqz(T4, "stale")
+    h.srli(T4, T1, d.WAITER_SHIFT)
+    h.andi(T4, T4, d.WAITER_MASK)
+    h.seq(T4, T4, T3)
+    h.beqz(T4, "stale")
     h.slli(T5, T3, d.OWNER_SHIFT)
     h.ori(T5, T5, d.EXCLUSIVE)
     h.st(T5, T0)
     h.done()
-    h.label("bad")
-    h.trap(3)
+    h.label("consume")
+    # This is the stale revision h_put's late arm left a debt for.
+    # The entry carries only the debt bit (the late arm wrote it over
+    # an otherwise-resolved transaction), so clearing the word returns
+    # the line to plain UNOWNED and new requests stop NACKing.
+    h.st(ZERO, T0)
+    h.done()
+    h.label("stale")
+    # Not this transaction's revision and no debt recorded: h_put
+    # already resolved the entry some other way.  Drop it.
     h.done()
     return h.build()
 
 
 def build_h_int_nack() -> Handler:
-    # A probed node had already written the line back; the PUT racing
-    # through VN2 resolves the transaction, so the NACK is dropped.
+    # The intervention missed: the probed owner had written the line
+    # back, and its PUT was absorbed by h_put's BUSY arm (the PUT
+    # precedes this INT_NACK on the same VN2 FIFO).  Resolve the
+    # parked transaction from the freshly updated memory, and only now
+    # acknowledge the old owner's writeback — see h_put's absorb arm.
     h = HandlerBuilder("h_int_nack")
+    dir_prologue(h)
+    h.seqi(T4, T2, d.BUSY_SHARED)
+    h.bnez(T4, "resolve")
+    h.seqi(T4, T2, d.BUSY_EXCLUSIVE)
+    h.bnez(T4, "resolve")
+    h.trap(4)
+    h.done()
+
+    h.label("resolve")
+    h.srli(T4, T1, d.WAITER_SHIFT)
+    h.andi(T4, T4, d.WAITER_MASK)  # waiter: the parked requester
+    h.srli(T5, HDR, HDR_SRC_SHIFT)
+    h.andi(T5, T5, NODE_FIELD_MASK)  # old owner (the probed node)
+    h.slli(T6, T4, d.OWNER_SHIFT)
+    h.ori(T6, T6, d.EXCLUSIVE)
+    h.st(T6, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T4, req_reg=T4)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T5, req_reg=T5)
     h.done()
     return h.build()
 
@@ -467,7 +540,11 @@ def _reply(name: str) -> Handler:
 
 
 def build_h_reply_wb_ack() -> Handler:
+    # WB_ACK is load-bearing: it clears the writeback buffer and
+    # releases any request for the line that parked behind the PUT,
+    # so it must COMPLETE into the MC like the other replies.
     h = HandlerBuilder("h_reply_wb_ack")
+    h.complete()
     h.done()
     return h.build()
 

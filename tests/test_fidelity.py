@@ -106,8 +106,8 @@ class TestInstructionAccounting:
         m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
         m.quiesce()
         p = m.nodes[0].stats.protocol
-        # h_get's UNOWNED path is 21 instructions; the final SWITCH/
-        # LDCTXT pair stalls forever awaiting the next request (paper
-        # §2.1), so exactly 19 retire — and no synthetic wrong-path
-        # µops leak into the count.
-        assert p.instructions == 19
+        # h_get's UNOWNED path is 24 instructions (3 of them the
+        # XFER-debt gate); the final SWITCH/LDCTXT pair stalls forever
+        # awaiting the next request (paper §2.1), so exactly 22 retire
+        # — and no synthetic wrong-path µops leak into the count.
+        assert p.instructions == 22

@@ -93,11 +93,19 @@ class TestGet:
         assert d.waiter_of(h.entry) == 5
         assert h.sent_msgs() == [(MsgType.INT_SHARED.value, 2, 5, 0)]
 
-    def test_owner_rerequest_resends_data(self):
+    def test_owner_rerequest_nacked(self):
+        # The recorded owner can only miss while still recorded if its
+        # eviction PUT is in flight: NACK until the PUT lands.
         h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=5))
         h.run("h_get", MsgType.GET, src=5, requester=5)
         assert d.state_of(h.entry) == d.EXCLUSIVE
-        assert h.sent_types() == [MsgType.DATA_EXCL.value]
+        assert h.sent_msgs() == [(MsgType.NACK.value, 5, 5, 0)]
+
+    def test_xfer_debt_nacks(self):
+        h = HandlerHarness(entry=1 << d.XFER_DEBT_SHIFT)
+        h.run("h_get", MsgType.GET, src=3, requester=3)
+        assert h.sent_msgs() == [(MsgType.NACK.value, 3, 3, 0)]
+        assert d.xfer_debt(h.entry)  # debt untouched
 
     @pytest.mark.parametrize("state", [d.BUSY_SHARED, d.BUSY_EXCLUSIVE])
     def test_busy_nacks(self, state):
@@ -142,6 +150,18 @@ class TestGetx:
         h.run("h_getx", MsgType.GETX, src=6, requester=6)
         assert h.sent_types() == [MsgType.NACK.value]
 
+    def test_owner_rerequest_nacked(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=2))
+        h.run("h_getx", MsgType.GETX, src=2, requester=2)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert h.sent_msgs() == [(MsgType.NACK.value, 2, 2, 0)]
+
+    def test_xfer_debt_nacks(self):
+        h = HandlerHarness(entry=1 << d.XFER_DEBT_SHIFT)
+        h.run("h_getx", MsgType.GETX, src=3, requester=3)
+        assert h.sent_msgs() == [(MsgType.NACK.value, 3, 3, 0)]
+        assert d.xfer_debt(h.entry)
+
 
 class TestUpgrade:
     def test_granted_with_acks(self):
@@ -181,14 +201,28 @@ class TestWritebacks:
         assert h.sent_msgs() == [(MsgType.WB_ACK.value, 4, 4, 0)]
         assert (POp.MEMWR, 0) in h.ops
 
-    def test_put_race_completes_waiter(self):
+    def test_put_mid_transaction_absorbed(self):
+        # Owner writes back while an intervention is in flight: memory
+        # is updated but the entry stays BUSY and the WB_ACK is
+        # withheld — h_int_nack resolves both once the probe misses.
         h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=4, waiter=9))
         h.run("h_put", MsgType.PUT, src=4, requester=4)
-        msgs = h.sent_msgs()
-        assert msgs[0] == (MsgType.DATA_EXCL.value, 9, 9, 0)
-        assert msgs[1] == (MsgType.WB_ACK.value, 4, 4, 0)
-        assert d.state_of(h.entry) == d.EXCLUSIVE
-        assert d.owner_of(h.entry) == 9
+        assert h.sent == []
+        assert (POp.MEMWR, 0) in h.ops
+        assert d.state_of(h.entry) == d.BUSY_EXCLUSIVE
+        assert d.waiter_of(h.entry) == 9
+
+    def test_put_from_waiter_records_xfer_debt(self):
+        # The freshly granted owner's PUT overtook the old owner's
+        # XFER revision: resolve the transaction, ack the writeback,
+        # and leave the debt bit so the stale XFER is consumed rather
+        # than interpreted.
+        h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=4, waiter=9))
+        h.run("h_put", MsgType.PUT, src=9, requester=9)
+        assert h.sent_msgs() == [(MsgType.WB_ACK.value, 9, 9, 0)]
+        assert (POp.MEMWR, 0) in h.ops
+        assert d.state_of(h.entry) == d.UNOWNED
+        assert d.xfer_debt(h.entry)
 
     def test_put_from_non_owner_traps(self):
         h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=4))
@@ -214,11 +248,37 @@ class TestWritebacks:
         assert d.owner_of(h.entry) == 5
         assert (POp.MEMWR, 0) not in h.ops  # dirty data went to requester
 
-    def test_int_nack_is_a_nop(self):
-        h = HandlerHarness(entry=d.encode(d.BUSY_SHARED, owner=2, waiter=5))
-        h.run("h_int_nack", MsgType.INT_NACK, src=2, requester=5)
+    def test_xfer_consumes_recorded_debt(self):
+        h = HandlerHarness(entry=1 << d.XFER_DEBT_SHIFT)
+        h.run("h_xfer", MsgType.XFER, src=2, requester=5)
+        assert h.entry == 0  # plain UNOWNED again
         assert h.sent == []
-        assert d.state_of(h.entry) == d.BUSY_SHARED
+
+    def test_xfer_stale_dropped(self):
+        # Transaction already resolved and no debt recorded (e.g. the
+        # entry moved on): the revision is stale and must not touch it.
+        entry = d.encode(d.EXCLUSIVE, owner=7)
+        h = HandlerHarness(entry=entry)
+        h.run("h_xfer", MsgType.XFER, src=2, requester=5)
+        assert h.entry == entry
+        assert h.sent == []
+
+    def test_int_nack_resolves_from_memory(self):
+        # The probe missed because the owner's PUT (already absorbed)
+        # emptied it: grant the waiter from memory and only now ack
+        # the old owner's writeback.
+        h = HandlerHarness(entry=d.encode(d.BUSY_EXCLUSIVE, owner=2, waiter=5))
+        h.run("h_int_nack", MsgType.INT_NACK, src=2, requester=5)
+        msgs = h.sent_msgs()
+        assert msgs[0] == (MsgType.DATA_EXCL.value, 5, 5, 0)
+        assert msgs[1] == (MsgType.WB_ACK.value, 2, 2, 0)
+        assert d.state_of(h.entry) == d.EXCLUSIVE
+        assert d.owner_of(h.entry) == 5
+
+    def test_int_nack_wrong_state_traps(self):
+        h = HandlerHarness(entry=d.encode(d.EXCLUSIVE, owner=2))
+        with pytest.raises(ProtocolError):
+            h.run("h_int_nack", MsgType.INT_NACK, src=2, requester=5)
 
 
 class TestProbeSide:
@@ -277,6 +337,7 @@ class TestRequesterSide:
             ("h_reply_data_ex", POp.COMPLETE),
             ("h_reply_upgrade_ack", POp.COMPLETE),
             ("h_reply_inv_ack", POp.COMPLETE),
+            ("h_reply_wb_ack", POp.COMPLETE),
             ("h_reply_nack", POp.RESEND),
             ("h_reply_nack_upgrade", POp.RESEND),
         ],
@@ -285,11 +346,6 @@ class TestRequesterSide:
         h = HandlerHarness()
         h.run(name, MsgType.DATA_SHARED, src=1, requester=0)
         assert [o for o, _ in h.ops] == [op]
-
-    def test_wb_ack_is_empty(self):
-        h = HandlerHarness()
-        h.run("h_reply_wb_ack", MsgType.WB_ACK, src=1, requester=0)
-        assert h.ops == [] and h.sent == []
 
     @pytest.mark.parametrize(
         "name,mtype",

@@ -66,7 +66,11 @@ class TestMachine:
                 m.step()
 
     def test_progress_resets_watchdog(self):
-        m = small_machine("base", n_nodes=1, watchdog_cycles=200)
+        # The window must exceed one full miss round-trip (~254 cycles
+        # on "base": the 400 MHz protocol processor runs the whole
+        # h_get path) but be shorter than the run's total length, so
+        # the test only passes if completions reset the counter.
+        m = small_machine("base", n_nodes=1, watchdog_cycles=300)
         done = Completion(m)
         m.nodes[0].hierarchy.load(0x1000, False, done.cb("a"))
         for _ in range(150):
