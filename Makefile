@@ -26,14 +26,23 @@ lint:
 		PYTHONPATH=src $(PYTHON) -m ruff check src tests; \
 	else echo "lint: ruff not installed, skipping"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		PYTHONPATH=src $(PYTHON) -m mypy -p repro.protocol -p repro.isa -p repro.analyze; \
+		PYTHONPATH=src $(PYTHON) -m mypy -p repro.protocol -p repro.isa \
+			-p repro.analyze -p repro.core -p repro.common -p repro.pipeline; \
 	else echo "lint: mypy not installed, skipping"; fi
 
-# CI-sized sweep (2 apps x 2 models, tiny preset). Writes
-# BENCH_smoke.json — one perf-trajectory point per commit.
+# CI-sized sweep (2 apps x 2 models + two n=2 cells, tiny preset).
+# Writes BENCH_smoke.json — one perf-trajectory point per commit —
+# and gates fresh per-cell CPU time against the committed trajectory:
+# >25% slowdown on any cell fails the target; speedups simply become
+# the new baseline once the refreshed file is committed.  Cells are
+# timed in CPU seconds, best-of-5 (min = contention-free cost), and
+# the gate normalizes by a box-speed calibration loop recorded in the
+# BENCH file; --refresh forces fresh timings (cache hits carry none);
+# --jobs 0 runs the cells inline so timings stay comparable.
 smoke:
-	PYTHONPATH=src $(PYTHON) -m repro sweep --grid smoke --name smoke \
-		--jobs $(JOBS) --timeout 120
+	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
+		--grid smoke --name smoke --jobs 0 --timeout 120 \
+		--refresh --gate BENCH_smoke.json
 
 # Small seeded coherence-fuzzing campaign with fault injection
 # (delayed/reordered messages). Must exit 0: any failure writes a

@@ -47,11 +47,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
+    from pathlib import Path
+
     from repro.sim.sweep import (
         NAMED_GRIDS,
         ResultCache,
+        gate_results,
         make_grid,
+        measure_reference_s,
         run_sweep,
+        warm_up_cpu,
         write_bench_json,
     )
 
@@ -86,6 +91,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = ResultCache(args.cache_dir, refresh=args.refresh)
+    if args.gate:
+        # Gated runs compare per-cell timings; let the CPU clock
+        # settle first so the earliest cells aren't timed cold.
+        warm_up_cpu()
     t0 = time.perf_counter()
     results = run_sweep(
         cells,
@@ -102,16 +111,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             r.cell.app, r.cell.model, r.cell.n_nodes, r.cell.ways,
             r.cell.preset, r.status + (" (cached)" if r.cached else ""),
             r.stats["cycles"] if r.ok else (r.error_type or "-"),
+            f"{r.elapsed_s:.3f}" if r.elapsed_s > 0 else "-",
+            f"{r.cycles_per_sec / 1000:.0f}k" if r.cycles_per_sec else "-",
         ]
         for r in results
     ]
     print()
     print(format_table(
-        ["app", "model", "nodes", "ways", "preset", "status", "cycles"], rows
+        ["app", "model", "nodes", "ways", "preset", "status", "cycles",
+         "cpu s", "cyc/s"],
+        rows,
     ))
+
+    baseline = None
+    if args.gate:
+        # Read the committed trajectory *before* write_bench_json —
+        # when --out points at the repo root the refreshed file
+        # overwrites it.
+        import json as _json
+
+        try:
+            baseline = _json.loads(Path(args.gate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read gate baseline {args.gate}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    # Box-speed calibration, timed right after the cells so it sees
+    # the same machine conditions; the gate normalizes with it.
+    reference_s = measure_reference_s()
+
     path = write_bench_json(args.out, name, results, jobs=jobs,
-                            wall_clock_s=wall)
+                            wall_clock_s=wall, reference_s=reference_s)
     print(f"\nwrote {path}")
+
+    if baseline is not None:
+        failures, lines = gate_results(results, baseline,
+                                       reference_s=reference_s)
+        print()
+        for line in lines:
+            print(line)
+        if failures:
+            print(
+                f"\ngate: {failures} cell(s) slower than the committed "
+                f"trajectory beyond the allowed headroom"
+            )
+            return 1
+        print("\ngate: no timing regressions; refreshed file becomes "
+              "the new baseline when committed")
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -303,6 +350,10 @@ def main(argv=None) -> int:
                          help="directory for the BENCH_<name>.json report")
     sweep_p.add_argument("--name", default=None,
                          help="report name (default: grid name or 'sweep')")
+    sweep_p.add_argument("--gate", default=None, metavar="BENCH_JSON",
+                         help="fail if any fresh cell is >25%% slower than "
+                              "this committed trajectory (use with "
+                              "--refresh for fresh timings)")
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     fuzz_p = sub.add_parser(

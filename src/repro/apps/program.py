@@ -203,6 +203,10 @@ class ThreadProgram:
         self._sleeping = False
         self._done = False
         self._wheel = wheel
+        #: Wake hook (activity contract): set by the machine to the
+        #: host core's ``wake()`` so sleep-backoff expiry re-enables
+        #: fetch without the core polling ``peek_available``.
+        self.on_wake: Optional[Callable[[], None]] = None
 
     @property
     def done(self) -> bool:
@@ -261,7 +265,11 @@ class ThreadProgram:
 
     def _wake(self) -> None:
         self._sleeping = False
+        if self.on_wake is not None:
+            self.on_wake()
 
     def _on_value(self, value: int) -> None:
         self._waiting = False
         self._send_value = value
+        if self.on_wake is not None:
+            self.on_wake()

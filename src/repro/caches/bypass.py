@@ -11,7 +11,7 @@ the pathological all-conflicting case fits.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 
 class BypassBuffer:
@@ -26,6 +26,9 @@ class BypassBuffer:
         self._tick = 0
         self.allocations = 0
         self.hits = 0
+        #: Wake hook (activity contract): called on every fill so a
+        #: core sleeping on a protocol-side miss re-checks fetch/issue.
+        self.on_fill: Optional[Callable[[], None]] = None
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -67,6 +70,8 @@ class BypassBuffer:
         self._tick += 1
         self._lines[la] = (version, dirty, self._tick)
         self.allocations += 1
+        if self.on_fill is not None:
+            self.on_fill()
         return evicted
 
     def evict(self, addr: int) -> Optional[Tuple[int, bool]]:

@@ -93,6 +93,10 @@ class MSHRFile:
         self._store_used = 0
         self._proto_used = 0
         self.peak_proto = 0
+        #: Wake hook (activity contract): called whenever an entry is
+        #: freed, since that can unblock issue attempts that found the
+        #: file full and were never registered as waiters.
+        self.on_free: Optional[Callable[[], None]] = None
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -185,6 +189,8 @@ class MSHRFile:
             self._store_used -= 1
         else:
             self._app_used -= 1
+        if self.on_free is not None:
+            self.on_free()
         return entry.waiters
 
     def in_flight_line_addrs(self) -> List[int]:

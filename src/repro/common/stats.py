@@ -151,6 +151,9 @@ class MachineStats:
     ways: int = 1
     freq_ghz: float = 2.0
     cycles: int = 0
+    # Idle cycles the event-driven scheduler fast-forwarded over rather
+    # than polling every component (always 0 under REPRO_DENSE_STEP=1).
+    skipped_cycles: int = 0
     nodes: List[NodeStats] = field(default_factory=list)
 
     # ---- derived quantities used by the experiment harness ----

@@ -5,6 +5,22 @@ controllers (and PP engines) act every ``mc_divisor`` ticks; network
 and SDRAM timing are pre-converted to processor cycles.  Cores step
 every tick.
 
+Scheduling: :meth:`Machine.step` is the dense reference semantics —
+one call advances every component by exactly one cycle.  The run loops
+(:meth:`Machine.run` / :meth:`Machine.quiesce`) are event-driven on
+top of it: after each step every component reports whether it did (or
+was woken to do) any work; when the whole machine is quiescent the
+loop fast-forwards the clock to the next cycle at which anything *can*
+happen — the earliest event-wheel entry, the next memory-controller
+dispatch opportunity, a busy functional unit freeing, the sanitizer's
+next sweep, or watchdog expiry — and replays the per-cycle
+side effects of the skipped idle polls analytically (stall-cycle
+accounting, round-robin rotation, arbitration-parity toggles), so the
+resulting statistics and traces are bit-identical to dense stepping.
+Skipped cycles are counted in ``Machine.skipped_cycles``.  Setting
+``REPRO_DENSE_STEP=1`` in the environment keeps the dense loops for
+differential testing.
+
 Forward progress is watched: if no instruction commits and no memory
 event fires for ``watchdog_cycles``, a :class:`DeadlockError` with a
 per-node dump is raised — protocol bugs surface as dumps, not hangs.
@@ -12,6 +28,7 @@ per-node dump is raised — protocol bugs surface as dumps, not hangs.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.common.errors import DeadlockError
@@ -73,6 +90,14 @@ class Machine:
         self._cores: List = []
         self._mc_divisor = mp.mc_divisor
         self._watchdog = mp.watchdog_cycles
+        #: Idle cycles the run loops fast-forwarded over instead of
+        #: densely polling every component.
+        self.skipped_cycles = 0
+        #: Individual core steps replaced by the closed-form idle fixup
+        #: while the rest of the machine stayed active (per-core sleep).
+        self.skipped_core_steps = 0
+        #: Escape hatch: force the pre-event-driven dense loops.
+        self.dense_step = os.environ.get("REPRO_DENSE_STEP", "") == "1"
 
     # ------------------------------------------------------------------
     def install_cores(self, sources_per_node: List[list]) -> None:
@@ -91,6 +116,19 @@ class Machine:
                 node.mc.engine = SMTpPort(
                     proto, self.mp.proc.look_ahead_scheduling
                 )
+            # Wake contract: asynchronous completion paths call
+            # ``core.wake()`` so a sleeping core is stepped densely on
+            # the cycle its input state changes (see DESIGN.md).
+            node.hierarchy.mshrs.on_free = core.wake
+            for buf in (
+                node.hierarchy.ibypass,
+                node.hierarchy.dbypass,
+                node.hierarchy.l2bypass,
+            ):
+                buf.on_fill = core.wake
+            for source in sources:
+                if hasattr(source, "on_wake"):
+                    source.on_wake = core.wake
         self._cores = [n.core for n in self.nodes if n.core is not None]
 
     def finish(self) -> None:
@@ -127,27 +165,178 @@ class Machine:
         Machine.step(self)
         self.sanitizer.on_cycle(self.cycle)
 
+    def _event_step(self) -> bool:
+        """One cycle with per-core sleep: mirrors :meth:`step` exactly,
+        except a core that reported no work last cycle and holds no
+        pending wake is advanced by its closed-form idle fixup instead
+        of a full pipeline pass.  Sound because every cross-component
+        effect on a core (event-wheel completions, MC dispatches,
+        sync-word writes) fires its ``wake()`` hook during the wheel/MC
+        phases — i.e. before the core's slot in the step order — and
+        core-internal time gates are tracked in ``_unit_wake``.
+
+        Returns True when some core did (or was woken to do) work.  The
+        return value may miss a wake delivered by a later core to an
+        earlier one in the same cycle, so callers must re-scan the
+        flags (:meth:`_maybe_fast_forward`) before skipping cycles."""
+        self.cycle = cycle = self.cycle + 1
+        wheel = self.wheel
+        if wheel._heap and wheel._heap[0][0] <= cycle:
+            if wheel.tick(cycle):
+                self._progress_cycle = cycle
+        else:
+            wheel.now = cycle
+        if cycle % self._mc_divisor == 0:
+            for mc in self._mcs:
+                mc.step()
+        awake = False
+        for core in self._cores:
+            if core._worked or core._wake_flag or 0 < core._unit_wake <= cycle:
+                core.step()
+                if core._worked or core._wake_flag:
+                    awake = True
+            else:
+                core.fast_forward(1)
+                self.skipped_core_steps += 1
+        if cycle - self._progress_cycle > self._watchdog:
+            raise DeadlockError(self._deadlock_report())
+        if self.sanitizer is not None:
+            self.sanitizer.on_cycle(cycle)
+        return awake
+
     def run(self, max_cycles: int) -> None:
         step = self.step
         all_done = self.all_done
-        for _ in range(max_cycles):
-            if all_done():
+        if self.dense_step:
+            for _ in range(max_cycles):
+                if all_done():
+                    return
+                step()
+            return
+        step = self._event_step
+        deadline = self.cycle + max_cycles
+        # ``all_done`` can only turn true on a cycle some core committed
+        # (which sets ``_worked``, making ``step`` return True), so it
+        # is re-tested exactly when the previous step had an awake core
+        # — the same cycle a dense loop would exit on — without paying
+        # the thread walk while asleep.
+        check_done = True
+        while self.cycle < deadline:
+            if check_done and all_done():
                 return
-            step()
+            check_done = step()
+            if not check_done and self.cycle < deadline:
+                self._maybe_fast_forward(deadline)
 
     def all_done(self) -> bool:
         return all(core.done for core in self._cores)
 
     def quiesce(self, max_cycles: int = 2_000_000) -> None:
         """Run until every in-flight transaction has drained."""
-        for _ in range(max_cycles):
+        if self.dense_step:
+            for _ in range(max_cycles):
+                if not self.busy():
+                    return
+                self.step()
+        else:
             if not self.busy():
                 return
-            self.step()
+            deadline = self.cycle + max_cycles
+            while self.cycle < deadline:
+                self._event_step()
+                # Unlike ``run``, the drained transition can be purely
+                # controller/wheel-side (no core wake), so re-check
+                # after every step to exit on the same cycle as dense.
+                if not self.busy():
+                    return
+                if self.cycle < deadline:
+                    self._maybe_fast_forward(deadline)
         raise DeadlockError(
             f"machine did not quiesce in {max_cycles} cycles\n"
             + self._deadlock_report()
         )
+
+    # ------------------------------------------------------------------
+    # Idle-cycle fast-forward (the event-driven scheduler)
+    # ------------------------------------------------------------------
+
+    def _maybe_fast_forward(self, deadline: int) -> None:
+        """Fast-forward if every core is quiescent (flag scan included;
+        ``run`` folds the scan into its loop and calls
+        :meth:`_fast_forward_idle` directly)."""
+        for core in self._cores:
+            if core._worked or core._wake_flag:
+                return
+        self._fast_forward_idle(deadline)
+
+    def _fast_forward_idle(self, deadline: int) -> None:
+        """With every core known quiescent, jump the clock to the next
+        cycle at which any component can act, replaying the skipped idle
+        polls' side effects analytically (bit-identical to dense
+        stepping)."""
+        target = self._next_wake_cycle()
+        if target > deadline:
+            # Dense stepping would idle-poll up to the deadline and
+            # stop there; nothing fires on or before it.
+            self._apply_skip(deadline - self.cycle)
+            self.cycle = deadline
+            self.wheel.now = deadline
+        elif target > self.cycle + 1:
+            # Land one cycle short: the caller's next step() performs
+            # the wake cycle itself densely, in reference order.
+            self._apply_skip(target - 1 - self.cycle)
+            self.cycle = target - 1
+
+    def _next_wake_cycle(self) -> int:
+        """Earliest cycle > now at which some component can do work (or
+        a time-gated check must run).  Always finite: watchdog expiry
+        bounds it."""
+        now = self.cycle
+        nxt = self.wheel.next_event_cycle()
+        if nxt == now + 1:
+            # Nothing can fire earlier than the next cycle; skip the
+            # (comparatively costly) controller/unit scans outright.
+            return nxt
+        best = self._progress_cycle + self._watchdog + 1
+        if nxt != -1 and nxt < best:
+            best = nxt
+        d = self._mc_divisor
+        for mc in self._mcs:
+            engine = mc.engine
+            if engine is None:
+                continue
+            ready = engine.ready_cycle()
+            if ready is None:
+                continue  # SMTp port occupied: freed by core-side work
+            if now < ready < best:
+                # The acceptance edge itself is a wake so that engine
+                # readiness stays constant over any skipped window.
+                best = ready
+            if mc.has_pending_input():
+                start = max(now + 1, ready)
+                dispatch = -(-start // d) * d  # next MC-clock edge
+                if dispatch < best:
+                    best = dispatch
+        for core in self._cores:
+            unit = core._unit_wake
+            if now < unit < best:
+                best = unit
+        if self.sanitizer is not None and self.sanitizer._next_sweep < best:
+            best = self.sanitizer._next_sweep
+        return max(best, now + 1)
+
+    def _apply_skip(self, skipped: int) -> None:
+        """Account ``skipped`` idle cycles' per-cycle side effects."""
+        if skipped <= 0:
+            return
+        self.skipped_cycles += skipped
+        for core in self._cores:
+            core.fast_forward(skipped)
+        d = self._mc_divisor
+        start = self.cycle + 1
+        end = self.cycle + skipped
+        for mc in self._mcs:
+            mc.fast_forward(start, end, d)
 
     def busy(self) -> bool:
         if len(self.wheel):
@@ -175,6 +364,7 @@ class Machine:
             ways=self.mp.proc.app_threads,
             freq_ghz=self.mp.proc.freq_ghz,
             cycles=self.cycle,
+            skipped_cycles=self.skipped_cycles,
             nodes=[node.stats for node in self.nodes],
         )
         return stats

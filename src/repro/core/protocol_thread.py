@@ -46,6 +46,12 @@ class SMTpPort:
     def can_accept(self) -> bool:
         return self.pending is None
 
+    def ready_cycle(self) -> Optional[int]:
+        """Activity contract: 0 when accepting now; None while a
+        context is pending — acceptance is then unblocked by pipeline
+        work (the handler graduating), not by the passage of time."""
+        return None if self.pending is not None else 0
+
     def idle(self) -> bool:
         """No handler pending and no effects left in the pipeline.
 
@@ -63,6 +69,11 @@ class SMTpPort:
         self.dispatched_count += 1
         self.pending = ctx
         self.try_start()
+        # A new dispatch can satisfy a stalled SWITCH and always feeds
+        # the protocol thread's fetch: wake the host core.
+        core = self.source.node.core
+        if core is not None:
+            core.wake()
 
     # -- sequencing -------------------------------------------------------
     def try_start(self) -> None:

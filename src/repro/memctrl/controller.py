@@ -210,6 +210,36 @@ class MemoryController:
             return
         self._dispatch(msg)
 
+    def has_pending_input(self) -> bool:
+        """Any dispatchable message queued (activity-contract probe)."""
+        if self.probe_replies or self.local_queue:
+            return True
+        return any(self.ni_in)
+
+    def fast_forward(self, start: int, end: int, divisor: int) -> None:
+        """Replay the side effect of the idle dispatch polls this MC
+        would have made on the MC-clock edges in ``[start, end]``.
+
+        With every queue empty and the engine accepting, a dense
+        :meth:`step` still flips the LMI/VN0 arbitration parity via
+        :meth:`_select_message`; the machine's fast-forward path calls
+        this instead so arbitration stays bit-identical.  Engine
+        readiness is constant across the window — the machine wakes at
+        ``engine.ready_cycle()`` edges — so one endpoint test suffices.
+        """
+        engine = self.engine
+        if engine is None:
+            return
+        ready = engine.ready_cycle()
+        if ready is None or ready > end:
+            return  # not accepting anywhere in the window: no polls
+        if self.has_pending_input():
+            return  # defensive: an accepting MC with input never sleeps
+        lo = max(start, ready)
+        polls = end // divisor - (lo - 1) // divisor
+        if polls & 1:
+            self._lmi_vs_vn0 = not self._lmi_vs_vn0
+
     def _select_message(self) -> Optional[Message]:
         if self.probe_replies:
             return self.probe_replies.pop(0)

@@ -62,6 +62,10 @@ class PPEngine:
     def can_accept(self) -> bool:
         return self.mc.wheel.now >= self._busy_until
 
+    def ready_cycle(self) -> int:
+        """Cycle from which :meth:`can_accept` holds (timed sleep)."""
+        return self._busy_until
+
     def idle(self) -> bool:
         return self.can_accept()
 

@@ -155,6 +155,18 @@ class SMTCore:
         self.cycle = 0
         self.div_free_at = 0
         self.fdiv_free_at = 0
+        # Activity contract (see DESIGN.md): ``_worked`` records whether
+        # the last step changed any state that per-cycle polling could
+        # not replay analytically; ``_wake_flag`` is set by asynchronous
+        # completion paths (wheel callbacks, MC dispatch, MSHR frees) to
+        # force the next step to run densely; ``_unit_wake`` is the
+        # earliest cycle a busy div/fdiv unit frees while gating an
+        # otherwise-ready µop (a timed sleep).
+        self._worked = True
+        self._wake_flag = True
+        self._unit_wake = 0
+        # Cached idle fixup (see fast_forward); invalidated by any step.
+        self._ff_plan: Optional[list] = None
         # Same-thread store->load forwarding values (word granularity).
         self._pending_stores: Dict[Tuple[int, int], List[int]] = {}
         # Per-thread store-buffer FIFO: stores drain strictly in program
@@ -191,8 +203,69 @@ class SMTCore:
         return f"core {self.node.node_id}: " + " | ".join(parts)
 
     # ------------------------------------------------------------------
+    def wake(self) -> None:
+        """Asynchronous input state changed: step densely next cycle.
+
+        Called by MSHR frees, bypass-buffer fills, thread-program sleep
+        expiry, handler dispatch, and the core's own completion events.
+        A spurious wake costs one dense no-op step and is always safe;
+        a missed one is what the conservative ``_worked`` accounting in
+        :meth:`step` guards against.
+        """
+        self._wake_flag = True
+
+    def fast_forward(self, skipped: int) -> None:
+        """Replay ``skipped`` idle steps' per-cycle side effects.
+
+        Only valid when the previous step reported no work: with frozen
+        inputs a dense step then mutates nothing but the stall-cycle
+        and protocol-busy counters (linear in cycles), the commit
+        round-robin pointer, and the decode/rename section-priority
+        toggles — all replayed here in closed form.
+
+        The counter targets are computed once per sleep period: port
+        idleness and ROB-head retirability can only change through this
+        core's own work or through an input change, and every input
+        change fires :meth:`wake`, which forces a dense :meth:`step`
+        (invalidating the cached plan) before the next fast-forward.
+        """
+        plan = self._ff_plan
+        if plan is None:
+            plan = self._ff_plan = self._build_ff_plan()
+        for stats, attr in plan:
+            setattr(stats, attr, getattr(stats, attr) + skipped)
+        self._rr = (self._rr + skipped) % len(self.threads)
+        if skipped & 1:
+            self.decode_q._proto_first = not self.decode_q._proto_first
+            self.rename_q._proto_first = not self.rename_q._proto_first
+
+    def _build_ff_plan(self) -> list:
+        """The per-idle-cycle counter increments, as (object, attribute)
+        pairs — frozen for the duration of one sleep period."""
+        plan = []
+        if self.proto_tid >= 0:
+            port = self.threads[self.proto_tid].source.port
+            if port is not None and not port.idle():
+                plan.append((self.node.stats.protocol, "busy_cycles"))
+        for t in self.threads:
+            if t.rob and not self._retirable(t.rob[0]):
+                if t.rob[0].is_memory:
+                    plan.append((t.stats, "memory_stall_cycles"))
+                else:
+                    plan.append((t.stats, "other_stall_cycles"))
+        return plan
+
+    def _note_unit_wake(self, free_at: int) -> None:
+        if self._unit_wake == 0 or free_at < self._unit_wake:
+            self._unit_wake = free_at
+
+    # ------------------------------------------------------------------
     def step(self) -> None:
         self.cycle = self.wheel.now
+        self._worked = self._wake_flag
+        self._wake_flag = False
+        self._unit_wake = 0
+        self._ff_plan = None
         if self.proto_tid >= 0:
             port = self.threads[self.proto_tid].source.port
             if port is not None and not port.idle():
@@ -254,8 +327,10 @@ class SMTCore:
                     # hand out µops destructively, so probe first.
                     # (_icache_ok fetches the line; on a miss it stalls
                     # the thread and we re-buffer the µop.)
+                    self._worked = True  # the probe recorded I-side stats
                     t.source.push_back(uop)
                     break
+            self._worked = True
             self._seq += 1
             uop.seq = self._seq
             budget -= 1
@@ -291,6 +366,7 @@ class SMTCore:
     def _ifill_done(self, t: ThreadContext) -> None:
         t.fetch_stalled = False
         t.cur_fetch_line = -1
+        self.wake()
 
     def _make_synth(self, t: ThreadContext) -> Uop:
         t.wp_emitted += 1
@@ -351,6 +427,8 @@ class SMTCore:
                     break
                 self.rename_q.push(src.popleft(), protocol)
                 moved += 1
+        if moved:
+            self._worked = True
 
     def _rename_stage(self) -> None:
         renamed = 0
@@ -364,6 +442,8 @@ class SMTCore:
                     break
                 src.popleft()
                 renamed += 1
+        if renamed:
+            self._worked = True
 
     def _try_rename(self, uop: Uop) -> bool:
         t = self.threads[uop.thread]
@@ -421,6 +501,9 @@ class SMTCore:
                 issued = False
                 if uop.is_memory:
                     if agu > 0 and self._can_issue_mem(uop) and self.rename.all_ready(uop):
+                        # Even a BLOCKED attempt records hierarchy stats,
+                        # so an issuable memory µop keeps the core awake.
+                        self._worked = True
                         issued = self._issue_mem(uop)
                         if issued:
                             agu -= 1
@@ -429,12 +512,14 @@ class SMTCore:
                         if uop.kind is UopKind.DIV:
                             if self.div_free_at > self.cycle:
                                 kept.append(uop)
+                                self._note_unit_wake(self.div_free_at)
                                 continue
                             self.div_free_at = self.cycle + self.pp.int_div_latency
                         issued = True
                         alu -= 1
                         self._schedule_complete(uop, self._latency_of(uop))
                 if issued:
+                    self._worked = True
                     uop.issued = True
                     self.threads[uop.thread].icount -= 1
                     self.iq_pool.release(uop.protocol)
@@ -450,9 +535,11 @@ class SMTCore:
                     if uop.kind is UopKind.FDIV:
                         if self.fdiv_free_at > self.cycle:
                             kept.append(uop)
+                            self._note_unit_wake(self.fdiv_free_at)
                             continue
                         self.fdiv_free_at = self.cycle + self.pp.fp_div_dp_latency
                     fpu -= 1
+                    self._worked = True
                     uop.issued = True
                     self.threads[uop.thread].icount -= 1
                     self.fq_pool.release(uop.protocol)
@@ -546,6 +633,7 @@ class SMTCore:
         )
 
     def _complete(self, uop: Uop, carry_value: bool = False) -> None:
+        self.wake()
         if uop.squashed or uop.completed:
             return
         uop.completed = True
@@ -643,14 +731,17 @@ class SMTCore:
             if budget <= 0:
                 break
         self._rr = (self._rr + 1) % n
-        if committed_any and self.machine is not None:
-            self.machine.note_progress()
+        if committed_any:
+            self._worked = True
+            if self.machine is not None:
+                self.machine.note_progress()
         for t in self.threads:
             if not t.protocol and not t.done:
                 if t.source.done and not t.rob and t.icount == 0:
                     t.done = True
                     t.stats.finish_cycle = self.cycle
                     t.stats.done = True
+                    self._worked = True
 
     def _retirable(self, uop: Uop) -> bool:
         if uop.commit_stage:
@@ -695,6 +786,7 @@ class SMTCore:
             t.stats.stores += 1
 
     def _drain_store(self, uop: Uop) -> None:
+        self.wake()
         result = self.hierarchy.store(
             uop.addr, uop.protocol, uop.value,
             on_complete=lambda v, u=uop: self._store_drained(u),
@@ -706,6 +798,7 @@ class SMTCore:
             self.wheel.schedule(result[1], lambda: self._store_drained(uop))
 
     def _store_drained(self, uop: Uop) -> None:
+        self.wake()
         self.sb_pool.release(uop.protocol)
         word = uop.addr & ~7
         pending = self._pending_stores.get((uop.thread, word))

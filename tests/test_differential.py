@@ -1,0 +1,130 @@
+"""Differential testing: event-driven scheduling vs dense polling.
+
+The event-driven scheduler (PR "Event-driven core scheduling") must be
+an *observationally invisible* optimisation: every statistic and every
+protocol trace event must come out bit-identical to the dense
+per-cycle polling reference (``REPRO_DENSE_STEP=1``).  These tests run
+the same workload twice — once per mode — and diff:
+
+* ``Machine.collect_stats().to_dict()`` (minus ``skipped_cycles``,
+  which is the event mode's own bookkeeping and is 0 under dense), and
+* the full :class:`~repro.sim.trace.ProtocolTracer` event stream
+  (cycle, node, kind, addr, detail for every coherence event).
+
+Coverage comes from two directions:
+
+* a hypothesis property over random fuzz-stress op lists (seed,
+  sharing pattern, model, node count all drawn), exercising
+  ``run_ops`` + the event-mode ``quiesce`` drain, and
+* full ``run_app`` runs of the tiny preset across all five Table 4
+  machine models, exercising the event-mode ``run`` loop end to end
+  (idle-cycle fast-forward, per-core skip, all_done gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import MODELS
+from repro.fuzz.campaign import FUZZ_MACHINE_KWARGS, install_idle_cores
+from repro.fuzz.stress import (
+    SHARING_PATTERNS,
+    StressConfig,
+    generate_ops,
+    run_ops,
+)
+from repro.sim.driver import build_machine, run_app
+from repro.sim.trace import ProtocolTracer
+
+
+def _comparable(stats) -> dict:
+    d = stats.to_dict()
+    # The only legal divergence: dense mode never skips a cycle.
+    d.pop("skipped_cycles", None)
+    return d
+
+
+def _trace_stream(tracer: ProtocolTracer) -> list:
+    return [asdict(ev) for ev in tracer.events]
+
+
+# ----------------------------------------------------------------------
+# Property: random fuzz-stress traffic, both modes, identical outcome.
+# ----------------------------------------------------------------------
+
+def _build_stress_machine(model: str, n_nodes: int, dense: bool):
+    machine = build_machine(model, n_nodes=n_nodes, **FUZZ_MACHINE_KWARGS)
+    machine.dense_step = dense
+    if machine.mp.protocol_engine == "thread":
+        install_idle_cores(machine)
+    return machine
+
+
+def _run_stress(model: str, n_nodes: int, ops, max_outstanding: int,
+                dense: bool):
+    machine = _build_stress_machine(model, n_nodes, dense)
+    tracer = ProtocolTracer(machine)
+    run_ops(machine, ops, max_outstanding=max_outstanding)
+    machine.final_checks()
+    return _comparable(machine.collect_stats()), _trace_stream(tracer), machine
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    model=st.sampled_from(MODELS),
+    sharing=st.sampled_from(SHARING_PATTERNS),
+    n_nodes=st.sampled_from((1, 2)),
+    n_ops=st.integers(min_value=20, max_value=120),
+)
+def test_event_vs_dense_on_random_traffic(seed, model, sharing, n_nodes,
+                                          n_ops):
+    cfg = StressConfig(n_ops=n_ops, sharing=sharing)
+    ops = generate_ops(seed, cfg, n_nodes)
+
+    dense_stats, dense_trace, dense_m = _run_stress(
+        model, n_nodes, ops, cfg.max_outstanding, dense=True)
+    event_stats, event_trace, event_m = _run_stress(
+        model, n_nodes, ops, cfg.max_outstanding, dense=False)
+
+    assert dense_m.skipped_cycles == 0
+    assert event_stats == dense_stats
+    assert event_trace == dense_trace
+
+
+# ----------------------------------------------------------------------
+# Full applications: the event-mode run loop across all five models.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("model", MODELS)
+def test_event_vs_dense_run_app(model, monkeypatch):
+    def run(dense: bool):
+        if dense:
+            monkeypatch.setenv("REPRO_DENSE_STEP", "1")
+        else:
+            monkeypatch.delenv("REPRO_DENSE_STEP", raising=False)
+        return run_app("water", model, n_nodes=1, preset="tiny")
+
+    dense = run(dense=True)
+    event = run(dense=False)
+    assert dense.skipped_cycles == 0
+    assert _comparable(event) == _comparable(dense)
+
+
+def test_event_vs_dense_run_app_multinode(monkeypatch):
+    # One cross-node cell: the regime where fast-forward fires most.
+    def run(dense: bool):
+        if dense:
+            monkeypatch.setenv("REPRO_DENSE_STEP", "1")
+        else:
+            monkeypatch.delenv("REPRO_DENSE_STEP", raising=False)
+        return run_app("fft", "base", n_nodes=2, preset="tiny")
+
+    dense = run(dense=True)
+    event = run(dense=False)
+    assert event.skipped_cycles > 0, "event mode should skip idle cycles"
+    assert _comparable(event) == _comparable(dense)

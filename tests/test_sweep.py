@@ -193,8 +193,11 @@ class TestSweepCLI:
         from repro.sim.sweep import NAMED_GRIDS
 
         cells = NAMED_GRIDS["smoke"]()
-        assert len(cells) == 4
+        assert len(cells) == 6
         assert all(c.preset == "tiny" for c in cells)
+        # Two multi-node cells exercise the cross-node regime the
+        # event scheduler accelerates most.
+        assert sum(1 for c in cells if c.n_nodes == 2) == 2
 
     def test_list_grids(self, capsys):
         from repro.__main__ import main
@@ -223,3 +226,79 @@ class TestSmokeGrid:
         results = run_sweep(NAMED_GRIDS["smoke"](), jobs=0,
                             cache=ResultCache(tmp_path))
         assert all(r.ok for r in results)
+
+
+def _gate_fixture(elapsed_s, base_elapsed, base_ref=None):
+    """One fresh result + a baseline doc with one matching row."""
+    from repro.sim.sweep import gate_results
+
+    cell = fast_cell()
+    result = CellResult(cell, "ok", stats={"cycles": 1000},
+                        elapsed_s=elapsed_s)
+    row = result.to_dict()
+    row["elapsed_s"] = base_elapsed
+    doc = {"cells": [row]}
+    if base_ref is not None:
+        doc["reference_s"] = base_ref
+    return gate_results, [result], doc
+
+
+class TestGate:
+    def test_regression_fails(self):
+        gate, results, doc = _gate_fixture(1.0, 0.5)
+        failures, lines = gate(results, doc)
+        assert failures == 1
+        assert any("FAIL" in ln for ln in lines)
+
+    def test_within_headroom_passes(self):
+        gate, results, doc = _gate_fixture(0.58, 0.5)
+        failures, _ = gate(results, doc)
+        assert failures == 0
+
+    def test_speedup_passes(self):
+        gate, results, doc = _gate_fixture(0.2, 0.5)
+        failures, lines = gate(results, doc)
+        assert failures == 0
+        assert any("0.40x" in ln for ln in lines)
+
+    def test_absolute_slack_excuses_tiny_cells(self):
+        # 30ms vs 20ms is 1.5x but only 10ms — under the 20ms slack.
+        gate, results, doc = _gate_fixture(0.030, 0.020)
+        failures, _ = gate(results, doc)
+        assert failures == 0
+
+    def test_slower_box_is_normalized_not_failed(self):
+        # 2x slower cell on a box whose calibration also reads 2x slow.
+        gate, results, doc = _gate_fixture(1.0, 0.5, base_ref=0.05)
+        failures, _ = gate(results, doc)  # no calibration: a real FAIL
+        assert failures == 1
+        failures, _ = gate(results, doc, reference_s=0.10)
+        assert failures == 0
+
+    def test_faster_box_never_tightens_the_gate(self):
+        # Calibration says this box is 2x faster; an equal-time cell
+        # must still pass (scale is clamped at 1.0).
+        gate, results, doc = _gate_fixture(0.5, 0.5, base_ref=0.10)
+        failures, _ = gate(results, doc, reference_s=0.05)
+        assert failures == 0
+
+    def test_cached_and_new_cells_never_fail(self):
+        from repro.sim.sweep import gate_results
+
+        cell = fast_cell()
+        cached = CellResult(cell, "ok", stats={"cycles": 1}, cached=True)
+        novel = CellResult(fast_cell(app="fft"), "ok",
+                           stats={"cycles": 1}, elapsed_s=9.9)
+        row = CellResult(cell, "ok", stats={"cycles": 1},
+                         elapsed_s=0.001).to_dict()
+        failures, lines = gate_results([cached, novel], {"cells": [row]})
+        assert failures == 0
+        assert any("SKIP" in ln for ln in lines)
+        assert any("NEW" in ln for ln in lines)
+
+    def test_best_of_records_minimum(self, monkeypatch):
+        from repro.sim.sweep import run_cell
+
+        monkeypatch.setenv("REPRO_BENCH_BEST_OF", "3")
+        r = run_cell(fast_cell(app="water", model="base"))
+        assert r.ok and r.elapsed_s > 0
