@@ -27,14 +27,18 @@ lint:
 	else echo "lint: ruff not installed, skipping"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		PYTHONPATH=src $(PYTHON) -m mypy -p repro.protocol -p repro.isa \
-			-p repro.analyze -p repro.core -p repro.common -p repro.pipeline; \
+			-p repro.analyze -p repro.core -p repro.common -p repro.pipeline \
+			-p repro.memctrl; \
 	else echo "lint: mypy not installed, skipping"; fi
 
-# CI-sized sweep (2 apps x 2 models + two n=2 cells, tiny preset).
-# Writes BENCH_smoke.json — one perf-trajectory point per commit —
-# and gates fresh per-cell CPU time against the committed trajectory:
-# >25% slowdown on any cell fails the target; speedups simply become
-# the new baseline once the refreshed file is committed.  Cells are
+# CI-sized sweep (2 apps x 2 models + two n=2 cells + one
+# protocol-heavy n=16 cell, tiny preset).  Writes BENCH_smoke.json —
+# one perf-trajectory point per commit — and gates fresh per-cell CPU
+# time against the committed trajectory: >25% slowdown on any cell
+# fails the target; speedups simply become the new baseline once the
+# refreshed file is committed.  The n=16 cell additionally enforces a
+# >=1.5x cycles/sec floor over the recorded pre-compilation
+# interpreter build (the BENCH file's pre_compile block).  Cells are
 # timed in CPU seconds, best-of-5 (min = contention-free cost), and
 # the gate normalizes by a box-speed calibration loop recorded in the
 # BENCH file; --refresh forces fresh timings (cache hits carry none);

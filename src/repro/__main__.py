@@ -87,6 +87,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.profile:
+        return _profile_cell(cells[0], len(cells), args.profile)
+
     import os
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
@@ -141,8 +144,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # the same machine conditions; the gate normalizes with it.
     reference_s = measure_reference_s()
 
+    # The pre-compilation speedup-floor block is sticky: a refresh
+    # rewrites the timing rows but keeps the recorded interpreter-era
+    # reference it gates against.
+    pre_compile = baseline.get("pre_compile") if baseline else None
     path = write_bench_json(args.out, name, results, jobs=jobs,
-                            wall_clock_s=wall, reference_s=reference_s)
+                            wall_clock_s=wall, reference_s=reference_s,
+                            pre_compile=pre_compile)
     print(f"\nwrote {path}")
 
     if baseline is not None:
@@ -160,6 +168,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("\ngate: no timing regressions; refreshed file becomes "
               "the new baseline when committed")
     return 0 if all(r.ok for r in results) else 1
+
+
+def _profile_cell(cell, n_cells: int, top: int) -> int:
+    """Run one sweep cell under cProfile; print the top hotspots.
+
+    The quickest way to answer "where do the cycles/sec go?" for a
+    given grid point — no cache, no worker pool, no best-of repeats:
+    one inline simulation with the profiler's instrumentation overhead
+    included (absolute times read ~2x slow; the *ranking* is what
+    matters).
+    """
+    import cProfile
+    import pstats
+
+    from repro.sim.driver import run_app
+
+    if n_cells > 1:
+        print(f"profiling the first of {n_cells} cells: {cell.label}")
+    else:
+        print(f"profiling {cell.label}")
+    prof = cProfile.Profile()
+    prof.enable()
+    stats = run_app(
+        cell.app,
+        cell.model,
+        n_nodes=cell.n_nodes,
+        ways=cell.ways,
+        freq_ghz=cell.freq_ghz,
+        preset=cell.preset,
+        max_cycles=cell.max_cycles,
+        **dict(cell.flags),
+    )
+    prof.disable()
+    print(f"simulated {stats.cycles} cycles "
+          f"(+{stats.skipped_cycles} skipped)\n")
+    ps = pstats.Stats(prof)
+    ps.sort_stats("cumulative").print_stats(top)
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -354,6 +400,10 @@ def main(argv=None) -> int:
                          help="fail if any fresh cell is >25%% slower than "
                               "this committed trajectory (use with "
                               "--refresh for fresh timings)")
+    sweep_p.add_argument("--profile", type=int, default=0, metavar="N",
+                         help="run the first cell of the grid inline under "
+                              "cProfile and print the top-N cumulative "
+                              "hotspots instead of sweeping")
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     fuzz_p = sub.add_parser(

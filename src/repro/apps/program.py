@@ -58,6 +58,23 @@ class KernelBuilder:
         self._int_rot = 0
         self._fp_rot = 0
         self.await_uop: Optional[Uop] = None
+        # Decoded-µop cache: kernels loop over a handful of µop shapes
+        # (kind × rotating dest × source regs), so after the first trip
+        # through a block every emission clones a prebuilt template and
+        # patches the per-instance fields (pc/addr/value/...) instead of
+        # re-running Uop.__init__ (see repro.protocol.compile for the
+        # protocol-side counterpart).
+        self._tmpl: dict = {}
+
+    def _stamp(self, kind: UopKind, srcs: Tuple[int, ...], dest: Optional[int],
+               atomic_op: Optional[str] = None) -> Uop:
+        key = (kind, srcs, dest, atomic_op)
+        tmpl = self._tmpl.get(key)
+        if tmpl is None:
+            tmpl = self._tmpl[key] = Uop(
+                kind, self.thread, srcs=srcs, dest=dest, atomic_op=atomic_op
+            )
+        return tmpl.clone()
 
     # -- program counters ----------------------------------------------------
     def here(self) -> int:
@@ -84,93 +101,88 @@ class KernelBuilder:
     # -- µop constructors -------------------------------------------------
     def alu(self, *deps: int) -> int:
         dest = self._int_dest()
-        self.buffer.append(
-            Uop(UopKind.ALU, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
-        )
+        uop = self._stamp(UopKind.ALU, deps, dest)
+        uop.pc = self._next_pc()
+        self.buffer.append(uop)
         return dest
 
     def mul(self, *deps: int) -> int:
         dest = self._int_dest()
-        self.buffer.append(
-            Uop(UopKind.MUL, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
-        )
+        uop = self._stamp(UopKind.MUL, deps, dest)
+        uop.pc = self._next_pc()
+        self.buffer.append(uop)
         return dest
 
     def falu(self, *deps: int) -> int:
         dest = self._fp_dest()
-        self.buffer.append(
-            Uop(UopKind.FALU, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
-        )
+        uop = self._stamp(UopKind.FALU, deps, dest)
+        uop.pc = self._next_pc()
+        self.buffer.append(uop)
         return dest
 
     def fdiv(self, *deps: int) -> int:
         dest = self._fp_dest()
-        self.buffer.append(
-            Uop(UopKind.FDIV, self.thread, pc=self._next_pc(), srcs=deps, dest=dest)
-        )
+        uop = self._stamp(UopKind.FDIV, deps, dest)
+        uop.pc = self._next_pc()
+        self.buffer.append(uop)
         return dest
 
     def load(self, addr: int, *deps: int, fp: bool = False) -> int:
         dest = self._fp_dest() if fp else self._int_dest()
-        self.buffer.append(
-            Uop(
-                UopKind.LOAD, self.thread, pc=self._next_pc(), srcs=deps,
-                dest=dest, addr=addr,
-            )
-        )
+        uop = self._stamp(UopKind.LOAD, deps, dest)
+        uop.pc = self._next_pc()
+        uop.addr = addr
+        self.buffer.append(uop)
         return dest
 
     def store(self, addr: int, *deps: int, value: Optional[int] = None) -> None:
-        self.buffer.append(
-            Uop(
-                UopKind.STORE, self.thread, pc=self._next_pc(), srcs=deps,
-                addr=addr, value=value,
-            )
-        )
+        uop = self._stamp(UopKind.STORE, deps, None)
+        uop.pc = self._next_pc()
+        uop.addr = addr
+        uop.value = value
+        self.buffer.append(uop)
 
     def prefetch(self, addr: int, exclusive: bool = False) -> None:
-        self.buffer.append(
-            Uop(
-                UopKind.PREFETCH, self.thread, pc=self._next_pc(), addr=addr,
-                exclusive=exclusive,
-            )
-        )
+        uop = self._stamp(UopKind.PREFETCH, (), None)
+        uop.pc = self._next_pc()
+        uop.addr = addr
+        uop.exclusive = exclusive
+        self.buffer.append(uop)
 
     def branch(self, taken: bool, target: int, *deps: int) -> None:
-        self.buffer.append(
-            Uop(
-                UopKind.BRANCH, self.thread, pc=self._next_pc(), srcs=deps,
-                taken=bool(taken), target_pc=target,
-            )
-        )
+        uop = self._stamp(UopKind.BRANCH, deps, None)
+        uop.pc = self._next_pc()
+        uop.taken = bool(taken)
+        uop.target_pc = target
+        self.buffer.append(uop)
         if taken:
             self.pc = target
 
     def call(self, target: int) -> int:
         """Emit a call; returns the return PC for the matching ret."""
         pc = self._next_pc()
-        self.buffer.append(
-            Uop(UopKind.CALL, self.thread, pc=pc, taken=True, target_pc=target)
-        )
+        uop = self._stamp(UopKind.CALL, (), None)
+        uop.pc = pc
+        uop.taken = True
+        uop.target_pc = target
+        self.buffer.append(uop)
         ret_pc = pc + 4
         self.pc = target
         return ret_pc
 
     def ret(self, return_pc: int) -> None:
-        self.buffer.append(
-            Uop(
-                UopKind.RETURN, self.thread, pc=self._next_pc(), taken=True,
-                target_pc=return_pc,
-            )
-        )
+        uop = self._stamp(UopKind.RETURN, (), None)
+        uop.pc = self._next_pc()
+        uop.taken = True
+        uop.target_pc = return_pc
+        self.buffer.append(uop)
         self.pc = return_pc
 
     # -- value-bearing operations (used with ``yield AWAIT``) -----------------
     def spin_load(self, addr: int) -> None:
-        uop = Uop(
-            UopKind.LOAD, self.thread, pc=self._next_pc(), dest=self._int_dest(),
-            addr=addr,
-        )
+        uop = self._stamp(UopKind.LOAD, (), self._int_dest())
+        uop.pc = self._next_pc()
+        uop.addr = addr
         self.buffer.append(uop)
         self.await_uop = uop
 
@@ -178,10 +190,10 @@ class KernelBuilder:
         self.spin_load(addr)
 
     def atomic(self, addr: int, op: str, operand: int = 0) -> None:
-        uop = Uop(
-            UopKind.ATOMIC, self.thread, pc=self._next_pc(),
-            dest=self._int_dest(), addr=addr, atomic_op=op, operand=operand,
-        )
+        uop = self._stamp(UopKind.ATOMIC, (), self._int_dest(), atomic_op=op)
+        uop.pc = self._next_pc()
+        uop.addr = addr
+        uop.operand = operand
         self.buffer.append(uop)
         self.await_uop = uop
 

@@ -195,9 +195,14 @@ class Machine:
                 core.step()
                 if core._worked or core._wake_flag:
                     awake = True
-            else:
-                core.fast_forward(1)
-                self.skipped_core_steps += 1
+            elif core._ff_plan is None:
+                # Start of a sleep period: pin the fixup plan and the
+                # anchor cycle (the core's inputs are frozen as of this
+                # cycle).  No per-cycle bookkeeping after this — the
+                # owed fixup count is derived from the clock when
+                # core.step()/collect_stats flushes it.
+                core._ff_plan = core._build_ff_plan()
+                core._ff_anchor = cycle
         if cycle - self._progress_cycle > self._watchdog:
             raise DeadlockError(self._deadlock_report())
         if self.sanitizer is not None:
@@ -221,12 +226,18 @@ class Machine:
         # — the same cycle a dense loop would exit on — without paying
         # the thread walk while asleep.
         check_done = True
-        while self.cycle < deadline:
-            if check_done and all_done():
-                return
-            check_done = step()
-            if not check_done and self.cycle < deadline:
-                self._maybe_fast_forward(deadline)
+        try:
+            while self.cycle < deadline:
+                if check_done and all_done():
+                    return
+                check_done = step()
+                if not check_done and self.cycle < deadline:
+                    self._maybe_fast_forward(deadline)
+        finally:
+            # Callers may read per-node stats directly: settle any
+            # batched idle fixups before handing control back.
+            for core in self._cores:
+                core.flush_idle_fixup(through=True)
 
     def all_done(self) -> bool:
         return all(core.done for core in self._cores)
@@ -242,15 +253,20 @@ class Machine:
             if not self.busy():
                 return
             deadline = self.cycle + max_cycles
-            while self.cycle < deadline:
-                self._event_step()
-                # Unlike ``run``, the drained transition can be purely
-                # controller/wheel-side (no core wake), so re-check
-                # after every step to exit on the same cycle as dense.
-                if not self.busy():
-                    return
-                if self.cycle < deadline:
-                    self._maybe_fast_forward(deadline)
+            try:
+                while self.cycle < deadline:
+                    self._event_step()
+                    # Unlike ``run``, the drained transition can be
+                    # purely controller/wheel-side (no core wake), so
+                    # re-check after every step to exit on the same
+                    # cycle as dense.
+                    if not self.busy():
+                        return
+                    if self.cycle < deadline:
+                        self._maybe_fast_forward(deadline)
+            finally:
+                for core in self._cores:
+                    core.flush_idle_fixup(through=True)
         raise DeadlockError(
             f"machine did not quiesce in {max_cycles} cycles\n"
             + self._deadlock_report()
@@ -317,6 +333,8 @@ class Machine:
                 dispatch = -(-start // d) * d  # next MC-clock edge
                 if dispatch < best:
                     best = dispatch
+            if best == now + 1:
+                return best  # already at the floor: nothing earlier exists
         for core in self._cores:
             unit = core._unit_wake
             if now < unit < best:
@@ -330,8 +348,11 @@ class Machine:
         if skipped <= 0:
             return
         self.skipped_cycles += skipped
+        first_skipped = self.cycle + 1
         for core in self._cores:
-            core.fast_forward(skipped)
+            if core._ff_plan is None:
+                core._ff_plan = core._build_ff_plan()
+                core._ff_anchor = first_skipped
         d = self._mc_divisor
         start = self.cycle + 1
         end = self.cycle + skipped
@@ -358,6 +379,8 @@ class Machine:
 
     # ------------------------------------------------------------------
     def collect_stats(self) -> MachineStats:
+        for core in self._cores:
+            core.flush_idle_fixup(through=True)
         stats = MachineStats(
             model=self.mp.model,
             n_nodes=self.mp.n_nodes,

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.isa.uop import Uop, UopKind
 from repro.memctrl.dispatch import HandlerContext
+from repro.protocol import compile as pcompile
 from repro.protocol import semantics
 from repro.protocol.handlers import boot_registers
 from repro.protocol.isa import ADDR, HDR, PInstr, POp
@@ -109,7 +110,7 @@ class ProtocolThreadSource:
 
     #: Latency of POPC/CTZ when the special bit-manipulation ALU ops
     #: are absent (§2.1 ablation): a shift-and-test software loop.
-    SLOW_BITOP_LATENCY = 16
+    SLOW_BITOP_LATENCY = pcompile.SLOW_BITOP_LATENCY
 
     def __init__(self, node) -> None:
         self.node = node
@@ -118,11 +119,16 @@ class ProtocolThreadSource:
         self.pmem = node.pmem
         self.port: Optional[SMTpPort] = None
         self.bitops = node.mp.proc.protocol_bitops
+        self.tid = node.mp.proc.app_threads  # protocol context id
         self.ctx: Optional[HandlerContext] = None
         self.index = 0
         self.fetching = False
         self._buffer: List[Uop] = []
         self.done = False  # the protocol thread never finishes
+        # Compiled µop feed (bit-identical to _make_uop); _emit holds
+        # the next instruction's emit closure while fetching.
+        self._use_compiled = not pcompile.interp_forced()
+        self._emit = None
 
     # -- frontend source interface ------------------------------------------
     def peek_available(self) -> bool:
@@ -136,6 +142,9 @@ class ProtocolThreadSource:
             return self._buffer.pop(0)
         if not self.fetching:
             return None
+        emit = self._emit
+        if emit is not None:
+            return emit(self)
         return self._make_uop()
 
     def next_ctx_available(self, ctx: HandlerContext) -> bool:
@@ -151,6 +160,11 @@ class ProtocolThreadSource:
         self.fetching = True
         self.regs[HDR] = ctx.header
         self.regs[ADDR] = ctx.msg.addr
+        self._emit = (
+            pcompile.compiled_for(ctx.handler).uop_entry
+            if self._use_compiled
+            else None
+        )
 
     # -- shadow execution -------------------------------------------------
     def _make_uop(self) -> Optional[Uop]:

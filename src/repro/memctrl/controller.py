@@ -22,7 +22,7 @@ COMPLETE/RESEND/MEMWR the handler graduates.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.mshr import MissKind, MSHREntry
@@ -66,6 +66,21 @@ _REPLY_TYPES = frozenset(
 _MTYPE_BY_VALUE = {m.value: m for m in MsgType}
 
 
+class ProtocolEngine(Protocol):
+    """What the controller needs from a handler-execution engine.
+
+    Implemented by :class:`repro.memctrl.ppengine.PPEngine` (embedded
+    protocol processor) and the SMTp port adapter the core installs;
+    see the module docstring for the calling convention.
+    """
+
+    def can_accept(self) -> bool: ...
+
+    def dispatch(self, ctx: HandlerContext) -> None: ...
+
+    def ready_cycle(self) -> Optional[int]: ...
+
+
 class MemoryController:
     def __init__(
         self,
@@ -76,7 +91,7 @@ class MemoryController:
         layout: DirectoryLayout,
         handler_table: HandlerTable,
         stats: NodeStats,
-        memory_versions: dict,
+        memory_versions: Dict[int, int],
         send_to_network: Callable[[Message], None],
     ) -> None:
         self.node_id = node_id
@@ -98,10 +113,16 @@ class MemoryController:
             for v in range(mp.mem.virtual_networks)
         ]
         self.probe_replies: List[Message] = []
-        self.engine = None  # installed by the node (PPEngine or SMTp port)
+        #: Installed by the node (PPEngine or the SMTp port adapter).
+        self.engine: Optional[ProtocolEngine] = None
         self._lmi_vs_vn0 = False  # cycling priority
+        # Dispatchable messages across probe_replies/local_queue/ni_in,
+        # maintained at every enqueue/dequeue: the dispatch poll and the
+        # machine's wake scan test this instead of walking the queues
+        # on every MC-clock edge of every controller.
+        self._n_input = 0
         # Active-memory extension: waiters per word, FIFO.
-        self._am_pending: dict = {}
+        self._am_pending: Dict[int, List[Callable[[int], None]]] = {}
 
     # ------------------------------------------------------------------
     # Ports wired to the hierarchy
@@ -144,7 +165,9 @@ class MemoryController:
         self.sdram.access(self.wheel.now)
 
     def _enqueue_local(self, msg: Message) -> None:
-        if not self.local_queue.push(msg):
+        if self.local_queue.push(msg):
+            self._n_input += 1
+        else:
             self.wheel.schedule(LOCAL_QUEUE_LATENCY, lambda: self._enqueue_local(msg))
 
     # ------------------------------------------------------------------
@@ -175,7 +198,7 @@ class MemoryController:
             self.stats.messages_out += 1
             self.send_to_network(msg)
 
-    def _am_execute(self, ctx) -> None:
+    def _am_execute(self, ctx: HandlerContext) -> None:
         """The AMO hardware op: RMW against home memory words."""
         from repro.protocol.extensions import apply_am_op
 
@@ -193,6 +216,7 @@ class MemoryController:
         """Fabric delivery; False applies backpressure."""
         if not self.ni_in[msg.vn].push(msg):
             return False
+        self._n_input += 1
         self.stats.messages_in += 1
         if msg.mtype in (MsgType.GET, MsgType.GETX, MsgType.UPGRADE):
             self.stats.remote_requests_in += 1
@@ -203,7 +227,13 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        if self.engine is None or not self.engine.can_accept():
+        engine = self.engine
+        if engine is None or not engine.can_accept():
+            return
+        if not self._n_input:
+            # An empty poll's only effect in _select_message is the
+            # LMI/VN0 arbitration-parity flip; do just that.
+            self._lmi_vs_vn0 = not self._lmi_vs_vn0
             return
         msg = self._select_message()
         if msg is None:
@@ -212,9 +242,7 @@ class MemoryController:
 
     def has_pending_input(self) -> bool:
         """Any dispatchable message queued (activity-contract probe)."""
-        if self.probe_replies or self.local_queue:
-            return True
-        return any(self.ni_in)
+        return self._n_input > 0
 
     def fast_forward(self, start: int, end: int, divisor: int) -> None:
         """Replay the side effect of the idle dispatch polls this MC
@@ -242,24 +270,36 @@ class MemoryController:
 
     def _select_message(self) -> Optional[Message]:
         if self.probe_replies:
+            self._n_input -= 1
             return self.probe_replies.pop(0)
-        for vn in (1, 2):
-            if self.ni_in[vn]:
-                return self.ni_in[vn].pop()
+        ni = self.ni_in
+        if ni[1]._items:
+            self._n_input -= 1
+            return ni[1].pop()
+        if ni[2]._items:
+            self._n_input -= 1
+            return ni[2].pop()
         first, second = (
-            (self.local_queue, self.ni_in[0])
+            (self.local_queue, ni[0])
             if self._lmi_vs_vn0
-            else (self.ni_in[0], self.local_queue)
+            else (ni[0], self.local_queue)
         )
         self._lmi_vs_vn0 = not self._lmi_vs_vn0
-        for q in (first, second):
-            if q:
-                return q.pop()
+        if first._items:
+            self._n_input -= 1
+            return first.pop()
+        if second._items:
+            self._n_input -= 1
+            return second.pop()
         return None
 
     def _dispatch(self, msg: Message) -> None:
+        engine = self.engine
+        assert engine is not None  # step() only dispatches with one
         if msg.mtype is MsgType.L2_PROBE_REPLY:
-            name = PROBE_DISPATCH[msg.probe_kind]
+            kind = msg.probe_kind
+            assert kind is not None  # stamped by _execute_probe's reply
+            name = PROBE_DISPATCH[kind]
         else:
             name = handler_name_for(msg, self.node_id)
         ctx = HandlerContext(msg, self.handlers[name], incoming_header(msg))
@@ -268,7 +308,7 @@ class MemoryController:
             # Start the line fetch in parallel with the handler.
             ctx.data_ready_at = self.sdram.access(self.wheel.now)
         self.stats.protocol.count_handler(name)
-        self.engine.dispatch(ctx)
+        engine.dispatch(ctx)
 
     # ------------------------------------------------------------------
     # Uncached operations called back by the executing engine
@@ -375,6 +415,7 @@ class MemoryController:
             )
             reply.probe_kind = probe_kind
             self.probe_replies.append(reply)
+            self._n_input += 1
 
         if probe_kind is MsgType.INT_SHARED:
             kind = "downgrade"

@@ -13,7 +13,7 @@ node's protocol memory.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Union
 
 from repro.common.params import PERFECT
 
@@ -52,7 +52,12 @@ class PerfectCache:
         return True
 
 
-def make_directory_cache(spec):
+#: Either timing model satisfies the ``access(addr) -> bool`` shape
+#: the protocol-processor engine drives.
+DirectoryCache = Union[DirectMappedCache, PerfectCache]
+
+
+def make_directory_cache(spec: object) -> DirectoryCache:
     """Build the directory data cache from a Table 4 spec value.
 
     ``spec`` is a byte size, :data:`repro.common.params.PERFECT`, or

@@ -23,14 +23,21 @@ protocol occupancy is exactly this busy time.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Dict
+
 from repro.common.errors import ProtocolError
 from repro.common.params import MachineParams
 from repro.common.stats import NodeStats
 from repro.memctrl.dircache import DirectMappedCache, make_directory_cache
 from repro.memctrl.dispatch import HandlerContext
+from repro.protocol import compile as pcompile
 from repro.protocol import semantics
+from repro.protocol.directory import DirectoryLayout
 from repro.protocol.handlers import boot_registers
 from repro.protocol.isa import ADDR, HDR, POp
+
+if TYPE_CHECKING:
+    from repro.memctrl.controller import MemoryController
 
 DISPATCH_MC_CYCLES = 2
 MAX_HANDLER_STEPS = 10_000
@@ -41,9 +48,9 @@ class PPEngine:
         self,
         node_id: int,
         mp: MachineParams,
-        mc,  # MemoryController (circular: installed as mc.engine)
-        layout,
-        pmem: dict,
+        mc: "MemoryController",  # circular: installed as mc.engine
+        layout: DirectoryLayout,
+        pmem: Dict[int, int],
         stats: NodeStats,
     ) -> None:
         self.node_id = node_id
@@ -57,6 +64,20 @@ class PPEngine:
         self.mc_divisor = mp.mc_divisor
         self.sdram_mc_cycles = max(1, mp.sdram_access_cycles // self.mc_divisor)
         self._busy_until = 0
+        # Compiled threaded-code execution (bit-identical to _execute);
+        # REPRO_INTERP=1 keeps the interpreter (read at build time,
+        # like Machine's REPRO_DENSE_STEP).
+        self._use_compiled = not pcompile.interp_forced()
+        self._ppstate = pcompile.PPState()
+        st = self._ppstate
+        st.regs = self.regs
+        st.pmem = pmem
+        st.dcache = self.dir_cache
+        st.picache = self.picache
+        st.sdram = self.sdram_mc_cycles
+        st.mc = mc
+        st.mcdiv = self.mc_divisor
+        st.wheel = mc.wheel
 
     # -- engine interface -------------------------------------------------
     def can_accept(self) -> bool:
@@ -73,10 +94,53 @@ class PPEngine:
         now = self.mc.wheel.now
         self.regs[HDR] = ctx.header
         self.regs[ADDR] = ctx.msg.addr
-        mc_cycles = self._execute(ctx)
+        if self._use_compiled:
+            mc_cycles = self._execute_compiled(ctx)
+        else:
+            mc_cycles = self._execute(ctx)
         busy = mc_cycles * self.mc_divisor
         self._busy_until = now + busy
         self.stats.protocol.busy_cycles += busy
+
+    def _execute_compiled(self, ctx: HandlerContext) -> int:
+        """Trampoline over the handler's compiled PP program.
+
+        Cycle accounting, cache touch order, uncached-op scheduling and
+        stats totals are bit-identical to :meth:`_execute`; per-
+        instruction counters accumulate on the state object and flush
+        in one step (also on the TRAP path, so aborted dispatches
+        report the same partial counts as the interpreter)."""
+        st = self._ppstate
+        st.ctx = ctx
+        st.now = st.wheel.now
+        st.t = DISPATCH_MC_CYCLES
+        st.slot = 0
+        st.seen = set()
+        st.phits = 0
+        st.pmiss = 0
+        st.dhits = 0
+        st.dmiss = 0
+        st.branches = 0
+        step = pcompile.compiled_for(ctx.handler).pp_entry
+        n = 0
+        p = self.stats.protocol
+        try:
+            while step is not None:
+                if n >= MAX_HANDLER_STEPS:
+                    raise ProtocolError(
+                        f"node {self.node_id}: handler {ctx.handler.name} "
+                        f"exceeded {MAX_HANDLER_STEPS} steps"
+                    )
+                n += 1
+                step = step(st)
+        finally:
+            p.instructions += n
+            p.picache_hits += st.phits
+            p.picache_misses += st.pmiss
+            p.dir_cache_hits += st.dhits
+            p.dir_cache_misses += st.dmiss
+            p.branches += st.branches
+        return st.t
 
     # -- execution ----------------------------------------------------------
     def _execute(self, ctx: HandlerContext) -> int:
@@ -111,17 +175,21 @@ class PPEngine:
                 instr, index, self.regs, lambda a: self.pmem.get(a, 0)
             )
             if instr.is_memory:
+                addr = result.mem_addr
+                assert addr is not None  # LD/ST always resolve one
                 slot = 0
-                if self.dir_cache.access(result.mem_addr):
+                if self.dir_cache.access(addr):
                     self.stats.protocol.dir_cache_hits += 1
                     t += 1
                 else:
                     self.stats.protocol.dir_cache_misses += 1
                     t += self.sdram_mc_cycles
                 if result.is_store:
-                    self.pmem[result.mem_addr] = result.value
+                    self.pmem[addr] = result.value
                 else:
-                    self.regs[result.dest] = result.value
+                    dest = result.dest
+                    assert dest is not None  # LD always carries rd
+                    self.regs[dest] = result.value
             elif result.uncached:
                 t += 1
                 slot = 0

@@ -167,6 +167,16 @@ class SMTCore:
         self._unit_wake = 0
         # Cached idle fixup (see fast_forward); invalidated by any step.
         self._ff_plan: Optional[list] = None
+        # First skipped cycle of the current sleep period.  While
+        # ``_ff_plan`` is pinned the owed fixup count is just
+        # ``wheel.now - _ff_anchor`` (the plan is constant per sleep
+        # period), so the event loop does no per-cycle bookkeeping at
+        # all for a sleeping core (see flush_idle_fixup).
+        self._ff_anchor = 0
+        self._done_sticky = False
+        # Wrong-path filler templates, keyed (tid, dest) — see
+        # _make_synth.
+        self._synth_tmpl: Dict[Tuple[int, int], Uop] = {}
         # Same-thread store->load forwarding values (word granularity).
         self._pending_stores: Dict[Tuple[int, int], List[int]] = {}
         # Per-thread store-buffer FIFO: stores drain strictly in program
@@ -178,7 +188,16 @@ class SMTCore:
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return all(t.done for t in self.threads if not t.protocol)
+        # Thread completion is monotone (ThreadContext.done is only
+        # ever set True, in _commit), so the all-done answer is sticky
+        # and the per-call thread walk can stop after the first True.
+        if self._done_sticky:
+            return True
+        for t in self.threads:
+            if not t.protocol and not t.done:
+                return False
+        self._done_sticky = True
+        return True
 
     def protocol_quiescent(self) -> bool:
         """True when the protocol thread has no effects left to apply —
@@ -239,6 +258,32 @@ class SMTCore:
             self.decode_q._proto_first = not self.decode_q._proto_first
             self.rename_q._proto_first = not self.rename_q._proto_first
 
+    def flush_idle_fixup(self, through: bool = False) -> None:
+        """Apply the sleep period's batched idle-cycle fixups.
+
+        The event loop does not call :meth:`fast_forward` once per
+        skipped cycle; it pins ``_ff_plan`` and ``_ff_anchor`` at sleep
+        start (when the inputs froze) and the owed count is derived
+        from the clock here in one shot — immediately before the next
+        dense step or a stats read.  Since the fixup is linear in
+        cycles and the plan is constant for the whole sleep period, one
+        n-cycle application is identical to n unit ones.
+
+        ``through=False`` (a core about to step at ``wheel.now``): the
+        core skipped ``[_ff_anchor, wheel.now - 1]``.  ``through=True``
+        (an end-of-run or stats flush, no step at ``wheel.now``): the
+        current cycle was skipped too.
+        """
+        if self._ff_plan is None:
+            return
+        pending = self.wheel.now - self._ff_anchor + (1 if through else 0)
+        if pending > 0:
+            self.fast_forward(pending)
+            m = self.machine
+            if m is not None:
+                m.skipped_core_steps += pending
+        self._ff_plan = None
+
     def _build_ff_plan(self) -> list:
         """The per-idle-cycle counter increments, as (object, attribute)
         pairs — frozen for the duration of one sleep period."""
@@ -261,11 +306,12 @@ class SMTCore:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
+        if self._ff_plan is not None:
+            self.flush_idle_fixup()
         self.cycle = self.wheel.now
         self._worked = self._wake_flag
         self._wake_flag = False
         self._unit_wake = 0
-        self._ff_plan = None
         if self.proto_tid >= 0:
             port = self.threads[self.proto_tid].source.port
             if port is not None and not port.idle():
@@ -274,9 +320,20 @@ class SMTCore:
                 # the head waiting for traffic does not count.
                 self.node.stats.protocol.busy_cycles += 1
         self._commit()
-        self._issue()
-        self._rename_stage()
-        self._decode_stage()
+        # Empty-stage guards: a skipped stage call must still advance
+        # the section-priority parity its body would have toggled.
+        if self.iq or self.fq:
+            self._issue()
+        rq = self.rename_q
+        if rq.proto or rq.app:
+            self._rename_stage()
+        else:
+            rq._proto_first = not rq._proto_first
+        dq = self.decode_q
+        if dq.proto or dq.app:
+            self._decode_stage()
+        else:
+            dq._proto_first = not dq._proto_first
         self._fetch()
 
     # ------------------------------------------------------------------
@@ -296,14 +353,28 @@ class SMTCore:
         # ties break toward the protocol thread — together with the
         # reserved decode slot this guarantees the protocol thread is
         # never starved of fetch by stalled application threads.
+        dq = self.decode_q
+        occupancy = len(dq.app) + len(dq.proto)
+        app_room = occupancy < dq.capacity - dq.reserved
+        proto_room = occupancy < dq.capacity
+        threads = self.threads
+        if len(threads) == 1:
+            # Single-thread cores (every non-SMTp model at ways=1):
+            # ICOUNT selection degenerates to one candidate test.
+            t = threads[0]
+            if (proto_room if t.protocol else app_room) and self._fetchable(t):
+                self._fetch_thread(t, self.pp.fetch_width)
+            return
+        fetchable = self._fetchable
         candidates = [
             t
-            for t in self.threads
-            if self._fetchable(t) and self.decode_q.can_push(t.protocol)
+            for t in threads
+            if (proto_room if t.protocol else app_room) and fetchable(t)
         ]
         if not candidates:
             return
-        candidates.sort(key=lambda t: (t.icount, not t.protocol))
+        if len(candidates) > 1:
+            candidates.sort(key=lambda t: (t.icount, not t.protocol))
         budget = self.pp.fetch_width
         for t in candidates[: self.pp.fetch_threads_per_cycle]:
             if budget <= 0:
@@ -372,13 +443,21 @@ class SMTCore:
         t.wp_emitted += 1
         t.wp_pc += 4
         # Wrong-path filler: integer ops chained through a rotating
-        # logical register window, consuming rename/IQ resources.
+        # logical register window, consuming rename/IQ resources.  The
+        # window has 8 shapes per thread (src is a function of dest),
+        # so filler µops clone from a tiny template cache.
         dest = 8 + (t.wp_emitted % 8)
-        src = 8 + ((t.wp_emitted - 1) % 8)
-        return Uop(
-            UopKind.SYNTH, t.tid, pc=t.wp_pc, srcs=(src,), dest=dest,
-            protocol=t.protocol,
-        )
+        key = (t.tid, dest)
+        tmpl = self._synth_tmpl.get(key)
+        if tmpl is None:
+            src = 8 + ((t.wp_emitted - 1) % 8)
+            tmpl = self._synth_tmpl[key] = Uop(
+                UopKind.SYNTH, t.tid, srcs=(src,), dest=dest,
+                protocol=t.protocol,
+            )
+        uop = tmpl.clone()
+        uop.pc = t.wp_pc
+        return uop
 
     def _predict(self, t: ThreadContext, uop: Uop) -> bool:
         """Predict a branch; returns True when fetch redirects (predicted
@@ -416,12 +495,15 @@ class SMTCore:
     # ------------------------------------------------------------------
 
     def _decode_stage(self) -> None:
+        dq = self.decode_q
+        first_proto = dq._proto_first
+        dq._proto_first = not first_proto
+        if not dq.proto and not dq.app:
+            return  # empty stage: only the priority parity advances
         moved = 0
-        first_proto = self.decode_q._proto_first
         sections = (True, False) if first_proto else (False, True)
-        self.decode_q._proto_first = not first_proto
         for protocol in sections:
-            src = self.decode_q.proto if protocol else self.decode_q.app
+            src = dq.proto if protocol else dq.app
             while src and moved < self.pp.front_end_width:
                 if not self.rename_q.can_push(protocol):
                     break
@@ -431,12 +513,15 @@ class SMTCore:
             self._worked = True
 
     def _rename_stage(self) -> None:
+        rq = self.rename_q
+        first_proto = rq._proto_first
+        rq._proto_first = not first_proto
+        if not rq.proto and not rq.app:
+            return  # empty stage: only the priority parity advances
         renamed = 0
-        first_proto = self.rename_q._proto_first
         sections = (True, False) if first_proto else (False, True)
-        self.rename_q._proto_first = not first_proto
         for protocol in sections:
-            src = self.rename_q.proto if protocol else self.rename_q.app
+            src = rq.proto if protocol else rq.app
             while src and renamed < self.pp.front_end_width:
                 if not self._try_rename(src[0]):
                     break
@@ -491,16 +576,18 @@ class SMTCore:
         agu = 1
         fpu = 3
         if self.iq:
+            threads = self.threads
             kept: List[Uop] = []
+            keep = kept.append
             for uop in self.iq:
                 if uop.squashed:
                     continue
                 if alu <= 0 and agu <= 0:
-                    kept.append(uop)
+                    keep(uop)
                     continue
                 issued = False
                 if uop.is_memory:
-                    if agu > 0 and self._can_issue_mem(uop) and self.rename.all_ready(uop):
+                    if agu > 0 and not uop.n_wait and self._can_issue_mem(uop):
                         # Even a BLOCKED attempt records hierarchy stats,
                         # so an issuable memory µop keeps the core awake.
                         self._worked = True
@@ -508,10 +595,10 @@ class SMTCore:
                         if issued:
                             agu -= 1
                 else:
-                    if alu > 0 and self.rename.all_ready(uop):
+                    if alu > 0 and not uop.n_wait:
                         if uop.kind is UopKind.DIV:
                             if self.div_free_at > self.cycle:
-                                kept.append(uop)
+                                keep(uop)
                                 self._note_unit_wake(self.div_free_at)
                                 continue
                             self.div_free_at = self.cycle + self.pp.int_div_latency
@@ -521,20 +608,21 @@ class SMTCore:
                 if issued:
                     self._worked = True
                     uop.issued = True
-                    self.threads[uop.thread].icount -= 1
+                    threads[uop.thread].icount -= 1
                     self.iq_pool.release(uop.protocol)
                 else:
-                    kept.append(uop)
+                    keep(uop)
             self.iq = kept
         if self.fq:
             kept = []
+            keep = kept.append
             for uop in self.fq:
                 if uop.squashed:
                     continue
-                if fpu > 0 and self.rename.all_ready(uop):
+                if fpu > 0 and not uop.n_wait:
                     if uop.kind is UopKind.FDIV:
                         if self.fdiv_free_at > self.cycle:
-                            kept.append(uop)
+                            keep(uop)
                             self._note_unit_wake(self.fdiv_free_at)
                             continue
                         self.fdiv_free_at = self.cycle + self.pp.fp_div_dp_latency
@@ -545,7 +633,7 @@ class SMTCore:
                     self.fq_pool.release(uop.protocol)
                     self._schedule_complete(uop, self._latency_of(uop))
                 else:
-                    kept.append(uop)
+                    keep(uop)
             self.fq = kept
 
     def _latency_of(self, uop: Uop) -> int:
@@ -707,35 +795,45 @@ class SMTCore:
 
     def _commit(self) -> None:
         # Memory-stall accounting (paper §4: per application thread).
-        for t in self.threads:
+        # The head-retirability scan doubles as the retire-loop gate:
+        # _retirable is side-effect free, and stall counting mutates
+        # nothing it reads, so "no head retirable here" still holds at
+        # the retire loop — skipping it retires exactly what the full
+        # scan would (nothing).
+        threads = self.threads
+        retirable = self._retirable
+        any_ready = False
+        for t in threads:
             if t.rob:
                 head = t.rob[0]
-                if not self._retirable(head):
-                    if head.is_memory:
-                        t.stats.memory_stall_cycles += 1
-                    else:
-                        t.stats.other_stall_cycles += 1
-        budget = self.pp.commit_width
-        n = len(self.threads)
+                if retirable(head):
+                    any_ready = True
+                elif head.is_memory:
+                    t.stats.memory_stall_cycles += 1
+                else:
+                    t.stats.other_stall_cycles += 1
+        n = len(threads)
         committed_any = False
-        for i in range(n):
-            t = self.threads[(self._rr + i) % n]
-            while budget > 0 and t.rob:
-                head = t.rob[0]
-                if not self._retirable(head):
+        if any_ready:
+            budget = self.pp.commit_width
+            for i in range(n):
+                t = threads[(self._rr + i) % n]
+                while budget > 0 and t.rob:
+                    head = t.rob[0]
+                    if not retirable(head):
+                        break
+                    self._retire(t, head)
+                    t.rob.popleft()
+                    budget -= 1
+                    committed_any = True
+                if budget <= 0:
                     break
-                self._retire(t, head)
-                t.rob.popleft()
-                budget -= 1
-                committed_any = True
-            if budget <= 0:
-                break
         self._rr = (self._rr + 1) % n
         if committed_any:
             self._worked = True
             if self.machine is not None:
                 self.machine.note_progress()
-        for t in self.threads:
+        for t in threads:
             if not t.protocol and not t.done:
                 if t.source.done and not t.rob and t.icount == 0:
                     t.done = True

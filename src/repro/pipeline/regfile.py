@@ -54,6 +54,12 @@ class RenameUnit:
         # Table 9: protocol-thread integer register occupancy.
         self.proto_int_held = 32 if pp.protocol_thread else 0
         self.proto_int_peak = self.proto_int_held
+        # Wakeup lists: µops waiting on a (tagged) physical register,
+        # appended at rename, drained by mark_ready.  Stale entries can
+        # only belong to squashed µops — a waiter's producer being
+        # squashed implies the (same-thread, younger) waiter was
+        # squashed with it — so draining them is harmless.
+        self._waiters: dict = {}
 
     # ------------------------------------------------------------------
     def free_int_count(self) -> int:
@@ -71,10 +77,27 @@ class RenameUnit:
         """Map sources and allocate the destination (must fit)."""
         t = uop.thread
         imap, fmap = self.int_map[t], self.fp_map[t]
-        uop.psrcs = tuple(
+        uop.psrcs = psrcs = tuple(
             fmap[s - FP_BASE] + (1 << 20) if s >= FP_BASE else imap[s]
             for s in uop.srcs
         )
+        if psrcs:
+            int_ready = self.int_ready
+            fp_ready = self.fp_ready
+            waiters = self._waiters
+            n_wait = 0
+            for p in psrcs:
+                ready = (
+                    fp_ready[p - (1 << 20)] if p >= (1 << 20) else int_ready[p]
+                )
+                if not ready:
+                    n_wait += 1
+                    lst = waiters.get(p)
+                    if lst is None:
+                        waiters[p] = [uop]
+                    else:
+                        lst.append(uop)
+            uop.n_wait = n_wait
         if uop.dest is None:
             return
         if uop.dest >= FP_BASE:
@@ -118,6 +141,10 @@ class RenameUnit:
             self.fp_ready[preg - (1 << 20)] = True
         else:
             self.int_ready[preg] = True
+        lst = self._waiters.pop(preg, None)
+        if lst is not None:
+            for u in lst:
+                u.n_wait -= 1
 
     # -- free-list management -----------------------------------------------
     def _release(self, preg: int, protocol: bool) -> None:

@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # circular at runtime: compile.py imports this module
+    from repro.protocol.compile import CompiledHandler
 
 # Register aliases.
 ZERO = 0
@@ -53,7 +56,13 @@ N_PROTOCOL_REGS = 32
 PINSTR_BYTES = 4
 
 
-class POp(enum.Enum):
+class POp(enum.IntEnum):
+    # An IntEnum: opcode sets and dispatch dicts are consulted on every
+    # interpreted instruction, and IntEnum members hash/compare at C
+    # speed.  __str__/__format__ stay the Enum forms ("POp.ADD").
+    __str__ = enum.Enum.__str__
+    __format__ = enum.Enum.__format__
+
     # ALU, register-register or register-immediate (imm is not None).
     ADD = enum.auto()
     SUB = enum.auto()
@@ -189,6 +198,11 @@ class Handler:
     name: str
     pc: int = 0
     instrs: List[PInstr] = field(default_factory=list)
+    #: Threaded-code programs, compiled on first use and invalidated on
+    #: re-placement (see :mod:`repro.protocol.compile`).
+    compiled: Optional["CompiledHandler"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.instrs)

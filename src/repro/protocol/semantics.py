@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.common.errors import ProtocolError
+from repro.protocol import compile as pcompile
 from repro.protocol.isa import PInstr, POp
 
 MASK64 = (1 << 64) - 1
@@ -115,10 +116,14 @@ def step(
 
 
 class FunctionalRunner:
-    """Run a whole handler functionally (tests and the PP engine core).
+    """Run a whole handler functionally (tests and the analyze passes).
 
     ``on_uncached(instr, value)`` receives every uncached operation in
     program order; SWITCH/LDCTXT terminate the run.
+
+    By default handlers execute through their compiled threaded-code
+    program (:mod:`repro.protocol.compile`), which is bit-identical to
+    the interpreter below; ``REPRO_INTERP=1`` forces the interpreter.
     """
 
     def __init__(
@@ -135,8 +140,12 @@ class FunctionalRunner:
         self.on_uncached = on_uncached
         self.max_steps = max_steps
         self.instructions_executed = 0
+        self._interp = pcompile.interp_forced()
 
     def run(self, handler) -> None:
+        if not self._interp:
+            pcompile.run_functional(handler, self, self.max_steps)
+            return
         index = 0
         for _ in range(self.max_steps):
             instr = handler.instrs[index]

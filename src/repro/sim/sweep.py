@@ -141,6 +141,7 @@ class SweepCell:
 
     def _key_payload(self) -> Dict[str, object]:
         from repro.core.models import make_machine_params
+        from repro.protocol.compile import COMPILER_VERSION, interp_forced
         from repro.sim.experiments import preset_sizes
 
         mp = make_machine_params(
@@ -157,10 +158,16 @@ class SweepCell:
             "sizes": preset_sizes(self.app, self.preset),
             "machine": dataclasses.asdict(mp),
             "max_cycles": self.max_cycles,
-            # Scheduler mode changes per-cell timings (and the
-            # skipped_cycles stat), so dense-loop runs must not share
-            # cache entries with event-driven ones.
+            # Execution-mode escape hatches change per-cell timings
+            # (stats are bit-identical by contract, but cached rows
+            # carry elapsed_s, which the perf gate consumes), so
+            # dense-loop or interpreter-mode runs must never serve
+            # cache entries to the other mode.  The compiler version
+            # rides along so a compilation-strategy bump re-times
+            # every cell even when no source file changed.
             "dense_step": os.environ.get("REPRO_DENSE_STEP", "") == "1",
+            "interp": interp_forced(),
+            "compiler": COMPILER_VERSION,
         }
 
     def cache_key(self) -> str:
@@ -601,13 +608,18 @@ def make_grid(
 
 
 def _grid_smoke() -> List[SweepCell]:
-    # 2 apps x 2 models at tiny sizes, plus two multi-node cells: a
+    # 2 apps x 2 models at tiny sizes, plus multi-node cells: a
     # CI-sized sweep (seconds).  The n=2 base cells exercise cross-node
     # coherence traffic and the PP-engine dispatch path at scale — the
     # regime the event-driven scheduler accelerates most — while
-    # keeping the grid fast enough for `make smoke`.
+    # keeping the grid fast enough for `make smoke`.  The n=16 cell is
+    # protocol-heavy: most cycles go to handler execution and message
+    # dispatch, so the trajectory gate covers the regime the compiled
+    # protocol path speeds up (see the ``pre_compile`` floor in
+    # ``BENCH_smoke.json``).
     cells = make_grid(("water", "fft"), ("base", "smtp"), preset="tiny")
     cells += make_grid(("water", "fft"), ("base",), nodes=(2,), preset="tiny")
+    cells += make_grid(("fft",), ("base",), nodes=(16,), preset="tiny")
     return cells
 
 
@@ -637,6 +649,10 @@ GATE_SLOWDOWN_LIMIT = 1.25
 #: proportionally larger timer noise than the ratio limit can absorb;
 #: 20ms is far below any regression worth gating on.
 GATE_SLACK_S = 0.02
+
+#: Default cycles/sec floor for ``pre_compile`` rows that do not carry
+#: their own ``min_speedup``: such rows are display-only (floor 0).
+PRE_COMPILE_DEFAULT_FLOOR = 0.0
 
 
 def warm_up_cpu(seconds: float = 1.0) -> None:
@@ -702,13 +718,29 @@ def gate_results(
     sweep with ``refresh``/``--refresh`` to gate) or without a
     baseline entry are reported but never fail; speedups simply become
     the new baseline when the refreshed BENCH file is committed.
+
+    Beyond the slowdown check, two speedup views are reported:
+
+    * each gated cell's cycles/sec ratio vs its baseline row, so a
+      refresh shows at a glance what got faster;
+    * if the baseline doc carries a ``pre_compile`` block (reference
+      timings recorded from the pre-compilation interpreter build, see
+      ``benchmarks/README.md``), every matching cell's cycles/sec
+      speedup over that recorded build — and a row tagged with
+      ``min_speedup`` FAILS the gate if the compiled simulator ever
+      drops below that floor.  This keeps the headline win of the
+      compilation layer (>=1.5x on the protocol-heavy multi-node
+      cell) an enforced property, not a one-off measurement.
     """
-    base: Dict[Tuple, float] = {}
+    base: Dict[Tuple, Tuple[float, float]] = {}
     for row in baseline_doc.get("cells", []):
         if row.get("status") == "ok" and not row.get("cached"):
             elapsed = float(row.get("elapsed_s") or 0.0)
+            stats = row.get("stats") or {}
             if elapsed > 0:
-                base[_gate_key(row)] = elapsed
+                base[_gate_key(row)] = (
+                    elapsed, float(stats.get("cycles") or 0.0)
+                )
     scale = 1.0
     base_ref = float(baseline_doc.get("reference_s") or 0.0)
     if reference_s and base_ref > 0:
@@ -734,20 +766,88 @@ def gate_results(
         if r.cached or r.elapsed_s <= 0:
             lines.append(f"gate: {label}: SKIP (cached; no fresh timing)")
             continue
-        ref = base.get(_gate_key(r.cell.to_dict()))
-        if ref is None:
+        entry = base.get(_gate_key(r.cell.to_dict()))
+        if entry is None:
             lines.append(
                 f"gate: {label}: NEW ({r.elapsed_s:.3f}s, no baseline)"
             )
             continue
+        ref, ref_cycles = entry
         ratio = r.elapsed_s / (ref * scale)
         failed = r.elapsed_s > ref * scale * limit + GATE_SLACK_S
         verdict = "FAIL" if failed else "ok"
         if failed:
             failures += 1
+        speedup = ""
+        if ref_cycles > 0:
+            cs = (float(r.stats["cycles"]) / r.elapsed_s) * scale
+            cs_ref = ref_cycles / ref
+            speedup = f", {cs / cs_ref:.2f}x cyc/s"
         lines.append(
             f"gate: {label}: {verdict} ({r.elapsed_s:.3f}s vs "
-            f"{ref:.3f}s baseline, {ratio:.2f}x, limit {limit:.2f}x)"
+            f"{ref:.3f}s baseline, {ratio:.2f}x, limit {limit:.2f}x"
+            f"{speedup})"
+        )
+    pre_failures, pre_lines = _gate_pre_compile(
+        results, baseline_doc, reference_s=reference_s
+    )
+    failures += pre_failures
+    lines += pre_lines
+    return failures, lines
+
+
+def _gate_pre_compile(
+    results: Sequence[CellResult],
+    baseline_doc: Dict[str, object],
+    reference_s: Optional[float] = None,
+) -> Tuple[int, List[str]]:
+    """Speedup-floor check against recorded pre-compilation timings.
+
+    The ``pre_compile`` block of a BENCH doc freezes the interpreter
+    build's per-cell CPU times (and the box calibration they were
+    measured under).  Each fresh cell matching a recorded row gets a
+    box-normalized cycles/sec speedup line; rows carrying
+    ``min_speedup`` turn that line into a hard floor.  Normalization
+    mirrors the slowdown gate's bias: a slower box *excuses* a low raw
+    speedup, but a faster box never inflates one past its raw value,
+    so the floor cannot pass on calibration noise alone.
+    """
+    block = baseline_doc.get("pre_compile")
+    if not isinstance(block, dict):
+        return 0, []
+    pre: Dict[Tuple, Dict[str, object]] = {
+        _gate_key(row): row for row in block.get("cells", [])
+    }
+    pre_ref = float(block.get("reference_s") or 0.0)
+    scale = 1.0
+    if reference_s and pre_ref > 0:
+        scale = max(1.0, reference_s / pre_ref)
+    failures = 0
+    lines: List[str] = []
+    for r in results:
+        if not r.ok or r.cached or r.elapsed_s <= 0:
+            continue
+        row = pre.get(_gate_key(r.cell.to_dict()))
+        if row is None:
+            continue
+        pre_elapsed = float(row.get("elapsed_s") or 0.0)
+        pre_cycles = float(row.get("cycles") or 0.0)
+        if pre_elapsed <= 0 or pre_cycles <= 0:
+            continue
+        speedup = (
+            (float(r.stats["cycles"]) / r.elapsed_s)
+            * scale
+            / (pre_cycles / pre_elapsed)
+        )
+        floor = float(row.get("min_speedup") or PRE_COMPILE_DEFAULT_FLOOR)
+        failed = floor > 0 and speedup < floor
+        if failed:
+            failures += 1
+        verdict = "FAIL" if failed else "ok"
+        floor_txt = f", floor {floor:.2f}x" if floor > 0 else ""
+        lines.append(
+            f"gate: {r.cell.label}: {verdict} {speedup:.2f}x cyc/s vs "
+            f"pre-compile build ({block.get('commit', '?')}){floor_txt}"
         )
     return failures, lines
 
@@ -764,6 +864,7 @@ def write_bench_json(
     jobs: int,
     wall_clock_s: float,
     reference_s: Optional[float] = None,
+    pre_compile: Optional[Dict[str, object]] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` summarizing a finished sweep.
 
@@ -772,6 +873,11 @@ def write_bench_json(
     sweep-level metadata — including the box-speed calibration
     ``reference_s`` the gate normalizes by — so successive commits'
     files can be diffed or plotted directly.
+
+    ``pre_compile`` is the frozen interpreter-build reference block
+    (see :func:`_gate_pre_compile`); the sweep CLI carries it over
+    from the gate baseline on every refresh so the speedup floor
+    survives file rewrites.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -791,6 +897,8 @@ def write_bench_json(
         "sim_seconds_total": round(sum(r.elapsed_s for r in results), 3),
         "cells": [r.to_dict() for r in results],
     }
+    if pre_compile is not None:
+        doc["pre_compile"] = pre_compile
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
     os.replace(tmp, path)

@@ -1,0 +1,200 @@
+"""Differential tests for the compiled protocol handlers.
+
+The closure-compiled threaded-code programs
+(:mod:`repro.protocol.compile`) carry a bit-identity contract: for
+every observable, they reproduce the reference interpreters exactly.
+``REPRO_INTERP=1`` routes every client back to the interpreter, so
+both implementations stay runnable and these tests diff them:
+
+* a hypothesis property runs every shipped handler (extensions
+  included) functionally in both modes over random headers, directory
+  states, register perturbations and protocol-memory background
+  values, and demands identical register files, ordered
+  protocol-memory write logs, ordered uncached-op (send/probe/...)
+  streams, executed-instruction counts — and, when a handler traps,
+  the identical exception type and message;
+* full event-mode ``run_app`` runs across all five Table 4 machine
+  models diff ``Machine.collect_stats().to_dict()`` with compilation
+  on vs off, with no fields excused — the compiled µop feed and PP
+  timing walk must not move a single counter, including
+  ``skipped_cycles`` (the event scheduler must make the same
+  sleep/wake decisions in both modes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.core.models import MODELS
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol import extensions
+from repro.protocol.compile import COMPILER_VERSION, compiled_for, interp_forced
+from repro.protocol.directory import DirectoryLayout
+from repro.protocol.handlers import boot_registers, build_handler_table, make_header
+from repro.protocol.isa import ADDR, HDR
+from repro.protocol.semantics import FunctionalRunner
+from repro.sim.driver import run_app
+
+LAYOUT = DirectoryLayout(
+    local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
+)
+
+TABLE = build_handler_table()
+extensions.install(TABLE)
+
+MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# Property: every handler, functional execution, compiled == interpreted.
+# ----------------------------------------------------------------------
+
+
+def _run_functional(name, regs, pmem, fill, interp):
+    """One functional handler run; returns every observable.
+
+    ``interp`` selects the implementation through the real
+    ``REPRO_INTERP`` switch (read at runner construction), so the test
+    exercises the same routing production uses.
+    """
+    old = os.environ.pop("REPRO_INTERP", None)
+    if interp:
+        os.environ["REPRO_INTERP"] = "1"
+    try:
+        mem = dict(pmem)
+        writes = []
+        events = []
+
+        def pmem_write(addr, value):
+            writes.append((addr, value))
+            mem[addr] = value
+
+        def on_uncached(instr, value):
+            events.append((instr.op, instr.rd, instr.rs1, instr.imm, value))
+
+        runner = FunctionalRunner(
+            regs, lambda a: mem.get(a, fill), pmem_write, on_uncached
+        )
+        error = None
+        try:
+            runner.run(TABLE[name])
+        except ProtocolError as exc:
+            error = (type(exc).__name__, str(exc))
+        return {
+            "regs": tuple(regs),
+            "writes": tuple(writes),
+            "pmem": mem,
+            "events": tuple(events),
+            "executed": runner.instructions_executed,
+            "error": error,
+        }
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_INTERP", None)
+        else:
+            os.environ["REPRO_INTERP"] = old
+
+
+HANDLER_NAMES = sorted(TABLE.by_name)
+
+DIR_ENTRIES = st.one_of(
+    # Legal encodings: the paths handlers are written for.
+    st.builds(
+        d.encode,
+        st.sampled_from(
+            [d.UNOWNED, d.SHARED, d.EXCLUSIVE, d.BUSY_SHARED,
+             d.BUSY_EXCLUSIVE]
+        ),
+        owner=st.integers(min_value=0, max_value=7),
+        waiter=st.integers(min_value=0, max_value=7),
+        vector=st.integers(min_value=0, max_value=(1 << 8) - 1),
+    ),
+    # Raw garbage: trap/default paths must diverge identically too.
+    st.integers(min_value=0, max_value=MASK64),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    name=st.sampled_from(HANDLER_NAMES),
+    node_id=st.integers(min_value=0, max_value=3),
+    line_index=st.integers(min_value=0, max_value=1023),
+    mtype=st.sampled_from(list(MsgType)),
+    peer=st.integers(min_value=0, max_value=7),
+    requester=st.integers(min_value=0, max_value=7),
+    acks=st.integers(min_value=0, max_value=0x3F),
+    entry=DIR_ENTRIES,
+    fill=st.integers(min_value=0, max_value=MASK64),
+    scratch=st.dictionaries(
+        st.integers(min_value=3, max_value=15),
+        st.integers(min_value=0, max_value=MASK64),
+        max_size=4,
+    ),
+)
+def test_compiled_matches_interpreter_functionally(
+    name, node_id, line_index, mtype, peer, requester, acks, entry, fill,
+    scratch,
+):
+    line = line_index * LAYOUT.line_bytes
+    regs = boot_registers(LAYOUT, node_id)
+    for idx, value in scratch.items():
+        if idx < len(regs):
+            regs[idx] = value
+    regs[ADDR] = line
+    regs[HDR] = make_header(mtype, peer=peer, requester=requester, acks=acks)
+    pmem = {LAYOUT.dir_entry_addr(line): entry}
+
+    compiled = _run_functional(name, list(regs), pmem, fill, interp=False)
+    interp = _run_functional(name, list(regs), pmem, fill, interp=True)
+    assert compiled == interp
+
+
+def test_interp_env_switch_is_honoured(monkeypatch):
+    monkeypatch.delenv("REPRO_INTERP", raising=False)
+    assert not interp_forced()
+    monkeypatch.setenv("REPRO_INTERP", "1")
+    assert interp_forced()
+
+
+def test_compiled_programs_are_cached_per_placement():
+    handler = TABLE[HANDLER_NAMES[0]]
+    first = compiled_for(handler)
+    assert compiled_for(handler) is first
+    assert first.pc == handler.pc
+    assert COMPILER_VERSION >= 1
+
+
+# ----------------------------------------------------------------------
+# Full applications: compiled vs interpreted, all five machine models.
+# ----------------------------------------------------------------------
+
+
+def _run(model, interp, monkeypatch, app="water", n_nodes=1):
+    if interp:
+        monkeypatch.setenv("REPRO_INTERP", "1")
+    else:
+        monkeypatch.delenv("REPRO_INTERP", raising=False)
+    return run_app(app, model, n_nodes=n_nodes, preset="tiny")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_compiled_vs_interp_run_app(model, monkeypatch):
+    interp = _run(model, True, monkeypatch)
+    compiled = _run(model, False, monkeypatch)
+    # No excused fields: stats must match bit for bit, including the
+    # event scheduler's own skipped-cycle bookkeeping.
+    assert compiled.to_dict() == interp.to_dict()
+
+
+def test_compiled_vs_interp_run_app_multinode(monkeypatch):
+    # Cross-node coherence traffic: the PP-engine regime the compiled
+    # programs accelerate most.
+    interp = _run("base", True, monkeypatch, app="fft", n_nodes=2)
+    compiled = _run("base", False, monkeypatch, app="fft", n_nodes=2)
+    assert compiled.to_dict() == interp.to_dict()

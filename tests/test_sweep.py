@@ -193,11 +193,14 @@ class TestSweepCLI:
         from repro.sim.sweep import NAMED_GRIDS
 
         cells = NAMED_GRIDS["smoke"]()
-        assert len(cells) == 6
+        assert len(cells) == 7
         assert all(c.preset == "tiny" for c in cells)
-        # Two multi-node cells exercise the cross-node regime the
-        # event scheduler accelerates most.
+        # Two 2-node cells exercise the cross-node regime the event
+        # scheduler accelerates most; the 16-node cell is protocol-heavy
+        # (most cycles inside handlers) and anchors the compiled-handler
+        # speedup floor in BENCH_smoke.json.
         assert sum(1 for c in cells if c.n_nodes == 2) == 2
+        assert sum(1 for c in cells if c.n_nodes == 16) == 1
 
     def test_list_grids(self, capsys):
         from repro.__main__ import main
