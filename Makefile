@@ -4,7 +4,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke fuzz-smoke bench clean-cache analyze lint
+.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze lint docs-check
 
 # Tier-1 gate: the full unit/integration/property suite, then the
 # protocol verifier (static + dispatch + exhaustive small model).
@@ -47,6 +47,23 @@ smoke:
 	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
 		--grid smoke --name smoke --jobs 0 --timeout 120 \
 		--refresh --gate BENCH_smoke.json
+
+# Full Figure 2 grid (6 apps x 5 models, bench preset): regenerates
+# BENCH_fig2.json — the committed per-figure perf trajectory — and
+# gates it exactly like `make smoke` does for the CI grid.  ~5 min
+# wall clock on one core at best-of-5; commit the refreshed file when
+# the cells legitimately got faster.
+fig2:
+	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
+		--grid fig2 --name fig2 --jobs 0 --timeout 300 \
+		--refresh --gate BENCH_fig2.json
+
+# Docs-staleness gate: every --flag a doc mentions must exist in the
+# live --help of the commands it covers, and every sweep/fuzz flag
+# must be documented in docs/sweep-service.md.  Also enforced in
+# tier-1 via tests/test_docs.py.
+docs-check:
+	PYTHONPATH=src $(PYTHON) tools/check_docs.py
 
 # Small seeded coherence-fuzzing campaign with fault injection
 # (delayed/reordered messages). Must exit 0: any failure writes a

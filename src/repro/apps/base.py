@@ -35,14 +35,21 @@ class AppContext:
         return g // self.ways
 
     def build_sources(self, body: BodyFn) -> List[List[ThreadProgram]]:
-        """Instantiate ``body(k, g)`` for every global thread ``g``."""
+        """Instantiate ``body(k, g)`` for every global thread ``g``.
+
+        Programs record their resume logs when the machine asks for
+        checkpointable sources (``machine.record_programs``), which is
+        what lets :mod:`repro.sim.checkpoint` rebuild the coroutines.
+        """
+        record = getattr(self.machine, "record_programs", False)
         sources: List[List[ThreadProgram]] = [[] for _ in range(self.n_nodes)]
         for g in range(self.n_threads):
             k = KernelBuilder(
                 thread=g % self.ways, pc_base=PC_BASE + g * PC_STRIDE
             )
             prog = ThreadProgram(
-                lambda kk, gg=g: body(kk, gg), k, wheel=self.machine.wheel
+                lambda kk, gg=g: body(kk, gg), k, wheel=self.machine.wheel,
+                record=record,
             )
             sources[self.node_of(g)].append(prog)
         return sources

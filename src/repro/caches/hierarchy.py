@@ -29,6 +29,7 @@ follows coherence-ordered timing (see DESIGN.md on eager-exclusive).
 from __future__ import annotations
 
 from collections import OrderedDict
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.caches.bypass import BypassBuffer
@@ -45,6 +46,23 @@ MISS = "miss"
 BLOCKED = "blocked"
 
 ProbeResponse = Callable[[bool, bool, int], None]  # (found, dirty, version)
+
+
+# Picklable default ports (standalone hierarchies in unit tests).
+def _discard(*args) -> None:
+    pass
+
+
+def _run_now(delay: int, fn: Callable[[], None]) -> None:
+    fn()
+
+
+def _proto_miss_now(line_addr: int, on_done: Callable[[int], None]) -> None:
+    on_done(0)
+
+
+def _zero_word(addr: int) -> int:
+    return 0
 
 
 class _Waiter:
@@ -142,22 +160,25 @@ class CacheHierarchy:
         self._imisses: Dict[int, List[Callable[[], None]]] = {}
 
         # ---- wiring installed by the Node ----
-        self.schedule: Callable[[int, Callable[[], None]], None] = lambda d, f: f()
+        # Defaults are module-level functions (not lambdas) so a
+        # hierarchy pickles even before/without Node wiring
+        # (:mod:`repro.sim.checkpoint`).
+        self.schedule: Callable[[int, Callable[[], None]], None] = _run_now
         # Application-space L2 miss: hand the MSHR entry to the MC.
-        self.app_miss_port: Callable[[MSHREntry], None] = lambda e: None
+        self.app_miss_port: Callable[[MSHREntry], None] = _discard
         # Protocol-space L2 miss: dedicated SDRAM path.
         self.proto_miss_port: Callable[[int, Callable[[int], None]], None] = (
-            lambda la, cb: cb(0)
+            _proto_miss_now
         )
         # Dirty/exclusive eviction of an application line.
-        self.writeback_port: Callable[[int, int, bool], None] = lambda la, v, d: None
+        self.writeback_port: Callable[[int, int, bool], None] = _discard
         # Protocol-space writeback (local memory timing only).
-        self.proto_writeback_port: Callable[[int], None] = lambda la: None
+        self.proto_writeback_port: Callable[[int], None] = _discard
         # Functional word store (shared machine-wide).
-        self.read_word: Callable[[int], int] = lambda a: 0
-        self.write_word: Callable[[int, int], None] = lambda a, v: None
+        self.read_word: Callable[[int], int] = _zero_word
+        self.write_word: Callable[[int, int], None] = _discard
         # Observer hook for the coherence checker.
-        self.on_store: Callable[[int], None] = lambda line_addr: None
+        self.on_store: Callable[[int], None] = _discard
 
     # ------------------------------------------------------------------
     # Pipeline-side API
@@ -330,7 +351,7 @@ class CacheHierarchy:
             return (MISS,)
         self._imisses[la] = [on_complete]
         delay = self.mp.sdram_access_cycles + self.pp.l2.hit_latency
-        self.schedule(delay, lambda: self._ifill(la, protocol))
+        self.schedule(delay, partial(self._ifill, la, protocol))
         return (MISS,)
 
     # ------------------------------------------------------------------
@@ -407,7 +428,7 @@ class CacheHierarchy:
             # the PUT already carried away.  Answer "not found"; any
             # parked miss of ours is serialized after this transaction.
             self.schedule(
-                self.pp.l2.hit_latency, lambda: on_response(False, False, 0)
+                self.pp.l2.hit_latency, partial(on_response, False, False, 0)
             )
             return
         entry = self.mshrs.get(line_addr)
@@ -423,7 +444,7 @@ class CacheHierarchy:
                     entry.inval_after_fill = True
                     self.schedule(
                         self.pp.l2.hit_latency,
-                        lambda: on_response(False, False, 0),
+                        partial(on_response, False, False, 0),
                     )
                     return
                 # An invalidation racing an in-flight UPGRADE applies to
@@ -436,7 +457,8 @@ class CacheHierarchy:
                 )
                 return
         self.schedule(
-            self.pp.l2.hit_latency, lambda: self._do_probe(line_addr, kind, on_response)
+            self.pp.l2.hit_latency,
+            partial(self._do_probe, line_addr, kind, on_response),
         )
 
     def wb_ack(self, line_addr: int) -> None:
@@ -598,7 +620,7 @@ class CacheHierarchy:
                 # against nothing.
                 line.locked = True
         if protocol:
-            self.proto_miss_port(la, lambda v, e=entry: self.proto_refill(la, v))
+            self.proto_miss_port(la, partial(self.proto_refill, la))
         else:
             if upgrade:
                 entry.kind = MissKind.WRITE
@@ -697,7 +719,7 @@ class CacheHierarchy:
             line = self.l2.lookup(la)
             if line is not None and not line.state.writable:
                 # The early-acked invalidation applies to this copy.
-                self._do_probe(la, "inval", lambda *a: None)
+                self._do_probe(la, "inval", _discard)
         # Probes that raced this fill run now, in arrival order.
         for kind, on_response in self._deferred_probes.pop(la, []):
             self._do_probe(la, kind, on_response)

@@ -276,6 +276,29 @@ def _cell_payload(payload: Tuple[Dict[str, object], str, bool, int]) -> Dict[str
     return result.to_dict()
 
 
+def _cell_ident(cell: FuzzCell) -> str:
+    """Stable identity of a cell for the durability ledger."""
+    import hashlib
+    import json
+
+    blob = json.dumps(cell.to_dict(), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _result_from_outcome(cell: FuzzCell, outcome: Dict[str, object]) -> FuzzResult:
+    return FuzzResult(
+        cell,
+        outcome["status"],
+        error=outcome["error"],
+        error_type=outcome["error_type"],
+        n_ops=outcome["n_ops"],
+        shrunk_to=outcome["shrunk_to"],
+        cycles=outcome["cycles"],
+        elapsed_s=outcome["elapsed_s"],
+        artifact=outcome["artifact"],
+    )
+
+
 def run_campaign(
     cells: Sequence[FuzzCell],
     jobs: int = 0,
@@ -284,8 +307,15 @@ def run_campaign(
     shrink_budget: int = DEFAULT_BUDGET,
     timeout: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    ledger=None,
 ) -> List[FuzzResult]:
-    """Run every cell, ``jobs`` at a time (0 = inline), in input order."""
+    """Run every cell, ``jobs`` at a time (0 = inline), in input order.
+
+    ``ledger`` (a :class:`repro.sim.queue.ResultLedger`) makes the
+    campaign durable: finished cells recorded there are replayed
+    instead of re-fuzzed, so a killed campaign resumes where it died
+    (``python -m repro fuzz --ledger DIR``).
+    """
     note = progress or (lambda msg: None)
     results: Dict[int, FuzzResult] = {}
     done = [0]
@@ -306,19 +336,29 @@ def run_campaign(
 
     if jobs <= 0:
         for idx, cell in enumerate(cells):
-            finish(idx, run_fuzz_cell(
+            ident = (idx, _cell_ident(cell))
+            outcome = ledger.get(ident) if ledger is not None else None
+            if outcome is not None:
+                finish(idx, _result_from_outcome(cell, outcome))
+                continue
+            result = run_fuzz_cell(
                 cell, out_dir=out_dir, shrink=shrink,
                 shrink_budget=shrink_budget,
-            ))
+            )
+            if ledger is not None:
+                ledger.put(ident, result.to_dict())
+            finish(idx, result)
     else:
         from repro.sim.sweep import pool_map
 
         pending = [
-            (idx, (cell.to_dict(), str(out_dir), shrink, shrink_budget))
+            ((idx, _cell_ident(cell)),
+             (cell.to_dict(), str(out_dir), shrink, shrink_budget))
             for idx, cell in enumerate(cells)
         ]
 
-        def on_done(idx, payload, outcome, elapsed, attempts):
+        def on_done(ident, payload, outcome, elapsed, attempts):
+            idx = ident[0]
             cell = FuzzCell.from_dict(payload[0])
             if outcome.get("_pool_status") == "crashed":
                 finish(idx, FuzzResult(
@@ -336,20 +376,10 @@ def run_campaign(
                     error_type="FuzzTimeout", elapsed_s=elapsed,
                 ))
             else:
-                finish(idx, FuzzResult(
-                    cell,
-                    outcome["status"],
-                    error=outcome["error"],
-                    error_type=outcome["error_type"],
-                    n_ops=outcome["n_ops"],
-                    shrunk_to=outcome["shrunk_to"],
-                    cycles=outcome["cycles"],
-                    elapsed_s=outcome["elapsed_s"],
-                    artifact=outcome["artifact"],
-                ))
+                finish(idx, _result_from_outcome(cell, outcome))
 
         pool_map(pending, _cell_payload, jobs=jobs, timeout=timeout,
-                 retries=0, on_done=on_done)
+                 retries=0, on_done=on_done, ledger=ledger)
 
     return [results[idx] for idx in range(len(cells))]
 

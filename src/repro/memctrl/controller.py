@@ -22,6 +22,7 @@ COMPLETE/RESEND/MEMWR the handler graduates.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.caches.hierarchy import CacheHierarchy
@@ -159,7 +160,7 @@ class MemoryController:
     def proto_miss(self, line_addr: int, on_done: Callable[[int], None]) -> None:
         """Protocol-space miss on the dedicated 64-bit SDRAM bus."""
         ready = self.sdram.access(self.wheel.now)
-        self.wheel.schedule_at(ready, lambda: on_done(0))
+        self.wheel.schedule_at(ready, partial(on_done, 0))
 
     def proto_writeback(self, line_addr: int) -> None:
         self.sdram.access(self.wheel.now)
@@ -168,7 +169,9 @@ class MemoryController:
         if self.local_queue.push(msg):
             self._n_input += 1
         else:
-            self.wheel.schedule(LOCAL_QUEUE_LATENCY, lambda: self._enqueue_local(msg))
+            self.wheel.schedule(
+                LOCAL_QUEUE_LATENCY, partial(self._enqueue_local, msg)
+            )
 
     # ------------------------------------------------------------------
     # Active-memory extension (repro.protocol.extensions)
@@ -388,34 +391,19 @@ class MemoryController:
             if ready <= self.wheel.now:
                 self.send_to_network(msg)
             else:
-                self.wheel.schedule_at(ready, lambda: self.send_to_network(msg))
+                self.wheel.schedule_at(ready, partial(self.send_to_network, msg))
 
     def _deliver_local(self, msg: Message, ready: int) -> None:
         delay = max(0, ready - self.wheel.now) + LOCAL_REPLY_LATENCY
         if msg.mtype in _REPLY_TYPES:
-            self.wheel.schedule(delay, lambda: self._apply_reply(msg))
+            self.wheel.schedule(delay, partial(self._apply_reply, msg))
         else:
-            self.wheel.schedule(delay, lambda: self._enqueue_local(msg))
+            self.wheel.schedule(delay, partial(self._enqueue_local, msg))
 
     def _execute_probe(self, ctx: HandlerContext, kind_imm: int, addr_value: int) -> None:
         line = self.layout.line_addr(addr_value)
         probe_kind = ctx.msg.mtype  # INT_SHARED / INT_EXCL / INVAL
         origin = ctx.msg  # carries home (src) and requester
-
-        def on_response(found: bool, dirty: bool, version: int) -> None:
-            reply = Message(
-                MsgType.L2_PROBE_REPLY,
-                line,
-                src=origin.src,
-                dest=self.node_id,
-                requester=origin.requester,
-                version=version,
-                dirty=dirty,
-                found=found,
-            )
-            reply.probe_kind = probe_kind
-            self.probe_replies.append(reply)
-            self._n_input += 1
 
         if probe_kind is MsgType.INT_SHARED:
             kind = "downgrade"
@@ -423,7 +411,32 @@ class MemoryController:
             kind = "inval_owner"  # ownership transfer: must yield data
         else:
             kind = "inval"  # sharer invalidation
-        self.hierarchy.probe(line, kind, on_response)
+        self.hierarchy.probe(
+            line, kind, partial(self._probe_response, line, probe_kind, origin)
+        )
+
+    def _probe_response(
+        self,
+        line: int,
+        probe_kind: "MsgType",
+        origin: Message,
+        found: bool,
+        dirty: bool,
+        version: int,
+    ) -> None:
+        reply = Message(
+            MsgType.L2_PROBE_REPLY,
+            line,
+            src=origin.src,
+            dest=self.node_id,
+            requester=origin.requester,
+            version=version,
+            dirty=dirty,
+            found=found,
+        )
+        reply.probe_kind = probe_kind
+        self.probe_replies.append(reply)
+        self._n_input += 1
 
     def _apply_reply(self, msg: Message) -> None:
         mtype = msg.mtype
@@ -474,9 +487,9 @@ class MemoryController:
                       requester=self.node_id)
         backoff = RETRY_BASE + min(retries, 8) * RETRY_STEP
         if home == self.node_id:
-            self.wheel.schedule(backoff, lambda: self._enqueue_local(msg))
+            self.wheel.schedule(backoff, partial(self._enqueue_local, msg))
         else:
-            self.wheel.schedule(backoff, lambda: self._send_retry(msg))
+            self.wheel.schedule(backoff, partial(self._send_retry, msg))
 
     def _send_retry(self, msg: Message) -> None:
         self.stats.messages_out += 1

@@ -23,6 +23,7 @@ protocol occupancy is exactly this busy time.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Dict
 
 from repro.common.errors import ProtocolError
@@ -195,7 +196,7 @@ class PPEngine:
                 slot = 0
                 self.mc.wheel.schedule_at(
                     max(now, now + t * self.mc_divisor),
-                    lambda i=instr, v=result.value: self.mc.uncached_op(ctx, i, v),
+                    partial(self.mc.uncached_op, ctx, instr, result.value),
                 )
             elif instr.is_branch:
                 self.stats.protocol.branches += 1

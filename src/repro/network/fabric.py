@@ -14,6 +14,7 @@ input queue for the message's VN has space.
 from __future__ import annotations
 
 import dataclasses
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.events import EventWheel
@@ -79,7 +80,7 @@ class Interconnect:
                     # path mutates messages (probe_kind), and one object
                     # must not sit in two NI queues at once.
                     m = msg if i == 0 else dataclasses.replace(msg)
-                    self.wheel.schedule(delay, lambda m=m: self._inject(m))
+                    self.wheel.schedule(delay, partial(self._inject, m))
                 return
         self._inject(msg)
 
@@ -108,7 +109,7 @@ class Interconnect:
         else:
             arrive = head_arrive
         self.wheel.schedule_at(
-            arrive, lambda: self._traverse(msg, links, idx + 1, arrive, injected)
+            arrive, partial(self._traverse, msg, links, idx + 1, arrive, injected)
         )
 
     def _try_deliver(self, msg: Message, injected: int) -> None:
@@ -117,7 +118,7 @@ class Interconnect:
             self.total_latency += self.wheel.now - injected
             return
         self.wheel.schedule(
-            self.RETRY_CYCLES, lambda: self._try_deliver(msg, injected)
+            self.RETRY_CYCLES, partial(self._try_deliver, msg, injected)
         )
 
     # ------------------------------------------------------------------

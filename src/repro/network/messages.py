@@ -14,7 +14,6 @@ protocol uses three) follows the deadlock-free sink ordering:
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -82,7 +81,26 @@ def virtual_network(mtype: MsgType) -> int:
     return 1
 
 
-_msg_ids = itertools.count()
+class _MsgIdSource:
+    """Monotonic message-uid source.
+
+    A plain class (not :func:`itertools.count`) so checkpointing can
+    read the current position without consuming it and reseat it on
+    restore (:mod:`repro.sim.checkpoint`).
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self) -> None:
+        self.next_id = 0
+
+    def __call__(self) -> int:
+        uid = self.next_id
+        self.next_id = uid + 1
+        return uid
+
+
+_msg_ids = _MsgIdSource()
 
 
 @dataclass
@@ -100,7 +118,7 @@ class Message:
     found: bool = False  # probe replies: the L2 had the line
     probe_kind: Optional["MsgType"] = None  # probe replies: original kind
     # Local-miss descriptors reuse Message; they carry the miss kind.
-    uid: int = field(default_factory=lambda: next(_msg_ids))
+    uid: int = field(default_factory=_msg_ids)
 
     @property
     def vn(self) -> int:

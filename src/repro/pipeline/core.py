@@ -28,6 +28,7 @@ the map/RAS checkpoints restored.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.caches.hierarchy import BLOCKED, HIT, MISS
@@ -426,7 +427,7 @@ class SMTCore:
         if line == t.cur_fetch_line:
             return True
         result = self.hierarchy.ifetch(
-            uop.pc, t.protocol, on_complete=lambda t=t: self._ifill_done(t)
+            uop.pc, t.protocol, on_complete=partial(self._ifill_done, t)
         )
         if result[0] == HIT:
             t.cur_fetch_line = line
@@ -675,13 +676,13 @@ class SMTCore:
                 # Active-memory extension: uncached remote op at home.
                 self.node.mc.am_request(
                     uop.addr, AM_OPS[uop.atomic_op], uop.operand,
-                    lambda v, u=uop: self._mem_value_done(u, v),
+                    partial(self._mem_value_done, uop),
                 )
                 t.mem_issue_next += 1
                 return True
             result = self.hierarchy.atomic(
                 uop.addr, uop.atomic_op, uop.operand,
-                on_complete=lambda v, u=uop: self._mem_value_done(u, v),
+                on_complete=partial(self._mem_value_done, uop),
             )
             if result[0] == BLOCKED:
                 return False
@@ -700,7 +701,7 @@ class SMTCore:
             return True
         result = self.hierarchy.load(
             uop.addr, uop.protocol,
-            on_complete=lambda v, u=uop: self._mem_value_done(u, v),
+            on_complete=partial(self._mem_value_done, uop),
         )
         if result[0] == BLOCKED:
             return False
@@ -717,7 +718,7 @@ class SMTCore:
 
     def _schedule_complete(self, uop: Uop, latency: int, carry_value: bool = False) -> None:
         self.wheel.schedule(
-            max(1, latency), lambda: self._complete(uop, carry_value)
+            max(1, latency), partial(self._complete, uop, carry_value)
         )
 
     def _complete(self, uop: Uop, carry_value: bool = False) -> None:
@@ -887,15 +888,15 @@ class SMTCore:
         self.wake()
         result = self.hierarchy.store(
             uop.addr, uop.protocol, uop.value,
-            on_complete=lambda v, u=uop: self._store_drained(u),
+            on_complete=partial(self._store_drained, uop),
         )
         if result[0] == BLOCKED:
-            self.wheel.schedule(2, lambda: self._drain_store(uop))
+            self.wheel.schedule(2, partial(self._drain_store, uop))
             return
         if result[0] == HIT:
-            self.wheel.schedule(result[1], lambda: self._store_drained(uop))
+            self.wheel.schedule(result[1], partial(self._store_drained, uop))
 
-    def _store_drained(self, uop: Uop) -> None:
+    def _store_drained(self, uop: Uop, _value: Optional[int] = None) -> None:
         self.wake()
         self.sb_pool.release(uop.protocol)
         word = uop.addr & ~7

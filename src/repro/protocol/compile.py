@@ -57,6 +57,7 @@ be served across compiler revisions.
 from __future__ import annotations
 
 import os
+from functools import partial
 from typing import Any, Callable, List, Optional, Set
 
 from repro.common.errors import ProtocolError
@@ -125,7 +126,7 @@ _ALU_FN: dict = {
 class CompiledHandler:
     """The three compiled programs of one placed handler."""
 
-    __slots__ = ("name", "pc", "func_entry", "pp_entry", "uop_entry")
+    __slots__ = ("name", "pc", "func_entry", "pp_entry", "uop_entry", "uop_steps")
 
     def __init__(self, handler: Handler) -> None:
         self.name = handler.name
@@ -134,7 +135,11 @@ class CompiledHandler:
         self.pc = handler.pc
         self.func_entry: StepFn = _compile(handler, _func_factory)
         self.pp_entry: StepFn = _compile(handler, _pp_factory(handler))
-        self.uop_entry: StepFn = _compile(handler, _uop_factory(handler))
+        # The full µop step list (not just the entry) so a restored
+        # checkpoint can re-enter a handler at the suspended fetch index
+        # (repro.core.protocol_thread resumes via ``uop_steps[index]``).
+        self.uop_steps: List[StepFn] = _compile_steps(handler, _uop_factory(handler))
+        self.uop_entry: StepFn = self.uop_steps[0]
 
 
 def compiled_for(handler: Handler) -> CompiledHandler:
@@ -170,8 +175,11 @@ def _link(steps: List[Optional[StepFn]], target: int) -> StepFn:
     return run
 
 
-def _compile(handler: Handler, factory: _Factory) -> StepFn:
-    """Build ``handler``'s threaded-code program with ``factory``."""
+def _compile_steps(handler: Handler, factory: _Factory) -> List[StepFn]:
+    """Build ``handler``'s threaded-code program with ``factory``.
+
+    Returns the per-instruction step list; ``steps[0]`` is the entry.
+    """
     instrs = handler.instrs
     n = len(instrs)
     steps: List[Optional[StepFn]] = [None] * n
@@ -190,9 +198,13 @@ def _compile(handler: Handler, factory: _Factory) -> StepFn:
             )
             assert instr.target <= i or tgt is not None
         steps[i] = factory(instr, i, nxt, tgt)
-    entry = steps[0]
-    assert entry is not None
-    return entry
+    assert steps[0] is not None
+    return steps  # type: ignore[return-value]
+
+
+def _compile(handler: Handler, factory: _Factory) -> StepFn:
+    """Build ``handler``'s program and return its entry step."""
+    return _compile_steps(handler, factory)[0]
 
 
 def _trap_message(instr: PInstr, index: int) -> str:
@@ -490,7 +502,7 @@ def _pp_factory(handler: Handler) -> _Factory:
                 ctx = st.ctx
                 st.wheel.schedule_at(
                     max(now, now + st.t * st.mcdiv),
-                    lambda: mc.uncached_op(ctx, instr, value),
+                    partial(mc.uncached_op, ctx, instr, value),
                 )
                 return nxt
             return p_unc

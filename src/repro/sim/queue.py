@@ -1,0 +1,549 @@
+"""Persistent on-disk job queue: sweeps that survive worker kills.
+
+The in-process sweep (:func:`repro.sim.sweep.run_sweep`) already
+resumes from its result cache, but every *in-flight* cell dies with
+the sweep process.  This module adds the missing durability layer for
+long grids (``fig2`` at paper sizes runs for hours): a
+filesystem-backed queue that any number of worker *processes* — on any
+number of machine restarts — drain cooperatively.
+
+Layout (everything under one queue directory)::
+
+    <queue-dir>/
+        lock                  flock target serializing queue mutations
+        jobs/<job-id>.json    one record per job (atomic replace)
+        ckpt/<job-id>.ckpt    the job's latest machine checkpoint
+
+Lease/heartbeat semantics: :meth:`JobQueue.claim` moves a job to
+``leased`` and stamps the worker id + a heartbeat time.  Workers renew
+the heartbeat at every checkpoint interval; a leased job whose
+heartbeat is older than ``lease_s`` is presumed orphaned (worker
+killed, machine rebooted) and becomes claimable again.  Each reclaim
+burns one attempt; a job that exhausts ``max_attempts`` is recorded
+``failed`` rather than looping forever.  A worker that discovers its
+lease was stolen (its own heartbeat call returns False) abandons the
+job — the checkpoint file it was writing is the same one the new
+owner resumes from, so the work is not lost either way.
+
+Jobs run through :mod:`repro.sim.checkpoint`: every
+``checkpoint_every`` cycles the worker saves the whole machine and
+heartbeats, so a killed worker's successor resumes mid-simulation
+from the last checkpoint instead of from cycle zero.  The
+``REPRO_NO_CKPT=1`` escape hatch degrades this to job-level retry
+(jobs run straight through; a kill restarts the job from scratch).
+
+``python -m repro sweep --serve`` / ``--worker`` wrap this on the
+command line, and :class:`ResultLedger` gives
+:func:`repro.sim.sweep.pool_map` (and therefore fuzz campaigns) the
+same restart durability at whole-item granularity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-process queues still work
+    fcntl = None
+
+from repro.common.errors import SimulationError
+
+#: Seconds without a heartbeat after which a lease is presumed dead.
+DEFAULT_LEASE_S = 120.0
+
+#: Cycles between checkpoints while running a queued job.
+DEFAULT_CHECKPOINT_EVERY = 2_000_000
+
+#: Attempts (first run + reclaims/retries) before a job is failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease was reclaimed by another worker."""
+
+
+# ----------------------------------------------------------------------
+# The queue
+# ----------------------------------------------------------------------
+
+
+class JobQueue:
+    """JSON-directory job queue with file locking and leases.
+
+    Every mutation happens under an exclusive ``flock`` on
+    ``<root>/lock``, and every job record is rewritten atomically
+    (temp file + rename), so concurrent workers — including workers
+    that die mid-write — can never corrupt the queue or double-claim
+    a job.
+    """
+
+    def __init__(self, root, lease_s: float = DEFAULT_LEASE_S) -> None:
+        self.root = Path(root)
+        self.lease_s = lease_s
+        self.jobs_dir = self.root / "jobs"
+        self.ckpt_dir = self.root / "ckpt"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.ckpt_dir.mkdir(parents=True, exist_ok=True)
+        self._lock_path = self.root / "lock"
+        self._lock_path.touch(exist_ok=True)
+
+    # -- locking -------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        if fcntl is None:
+            yield
+            return
+        with open(self._lock_path, "r+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    # -- job records ---------------------------------------------------
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.ckpt_dir / f"{job_id}.ckpt"
+
+    def _read(self, job_id: str) -> Optional[Dict]:
+        try:
+            return json.loads(self._job_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write(self, job: Dict) -> None:
+        path = self._job_path(job["id"])
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(job, sort_keys=True))
+        os.replace(tmp, path)
+
+    def job_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
+
+    def get(self, job_id: str) -> Optional[Dict]:
+        return self._read(job_id)
+
+    # -- producer side -------------------------------------------------
+    def submit(
+        self,
+        job_id: str,
+        payload: Dict,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        refresh: bool = False,
+    ) -> bool:
+        """Enqueue a job; idempotent per ``job_id``.
+
+        An existing record is left alone (so resubmitting a grid never
+        disturbs running or finished jobs) unless ``refresh`` is set,
+        which re-queues finished jobs from scratch.  Returns True when
+        a fresh pending record was written.
+        """
+        with self._locked():
+            existing = self._read(job_id)
+            if existing is not None and not refresh:
+                return False
+            if existing is not None and existing.get("state") == "leased":
+                return False  # never yank a job out from under a worker
+            self._write({
+                "id": job_id,
+                "payload": payload,
+                "state": "pending",
+                "attempts": 0,
+                "max_attempts": max_attempts,
+                "worker": None,
+                "heartbeat_unix": None,
+                "submitted_unix": round(time.time(), 3),
+                "finished_unix": None,
+                "result": None,
+                "error": "",
+            })
+            ckpt = self.checkpoint_path(job_id)
+            if refresh and ckpt.exists():
+                ckpt.unlink()
+            return True
+
+    # -- worker side ---------------------------------------------------
+    def claim(self, worker: str) -> Optional[Dict]:
+        """Lease the first claimable job (pending, or leased with an
+        expired heartbeat); None when nothing is claimable right now."""
+        now = time.time()
+        with self._locked():
+            for job_id in self.job_ids():
+                job = self._read(job_id)
+                if job is None:
+                    continue
+                state = job["state"]
+                expired = (
+                    state == "leased"
+                    and now - (job["heartbeat_unix"] or 0) > self.lease_s
+                )
+                if state != "pending" and not expired:
+                    continue
+                job["attempts"] += 1
+                if job["attempts"] > job["max_attempts"]:
+                    job["state"] = "failed"
+                    job["error"] = (
+                        f"gave up after {job['max_attempts']} attempts "
+                        f"(last worker: {job['worker']})"
+                    )
+                    job["finished_unix"] = round(now, 3)
+                    self._write(job)
+                    continue
+                job["state"] = "leased"
+                job["worker"] = worker
+                job["heartbeat_unix"] = round(now, 3)
+                self._write(job)
+                return job
+        return None
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        """Renew the lease; False means the lease is no longer ours."""
+        with self._locked():
+            job = self._read(job_id)
+            if job is None or job["state"] != "leased" or job["worker"] != worker:
+                return False
+            job["heartbeat_unix"] = round(time.time(), 3)
+            self._write(job)
+            return True
+
+    def complete(self, job_id: str, worker: str, result: Dict) -> bool:
+        """Record a finished job (any terminal ``fn`` outcome, including
+        deterministic failures — those must not be retried)."""
+        with self._locked():
+            job = self._read(job_id)
+            if job is None or job["state"] != "leased" or job["worker"] != worker:
+                return False  # lease was stolen; the new owner reports
+            job["state"] = "done"
+            job["result"] = result
+            job["finished_unix"] = round(time.time(), 3)
+            self._write(job)
+        ckpt = self.checkpoint_path(job_id)
+        if ckpt.exists():
+            ckpt.unlink()
+        return True
+
+    def fail(self, job_id: str, worker: str, error: str) -> bool:
+        """Release a job after an infrastructure error (not a simulation
+        verdict): it returns to ``pending`` until attempts run out."""
+        with self._locked():
+            job = self._read(job_id)
+            if job is None or job["state"] != "leased" or job["worker"] != worker:
+                return False
+            if job["attempts"] >= job["max_attempts"]:
+                job["state"] = "failed"
+                job["finished_unix"] = round(time.time(), 3)
+            else:
+                job["state"] = "pending"
+                job["worker"] = None
+            job["error"] = error
+            self._write(job)
+            return True
+
+    # -- observation ---------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for job_id in self.job_ids():
+            job = self._read(job_id)
+            if job is not None:
+                counts[job["state"]] = counts.get(job["state"], 0) + 1
+        return counts
+
+    def unfinished(self) -> int:
+        counts = self.counts()
+        return counts["pending"] + counts["leased"]
+
+    def all_done(self) -> bool:
+        return self.unfinished() == 0
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# Sweep jobs
+# ----------------------------------------------------------------------
+
+
+def _cell_from_dict(d: Dict):
+    from repro.sim.sweep import SweepCell
+
+    return SweepCell.make(
+        d["app"], d["model"], n_nodes=d["n_nodes"], ways=d["ways"],
+        freq_ghz=d["freq_ghz"], preset=d["preset"],
+        max_cycles=d["max_cycles"], **(d.get("flags") or {}),
+    )
+
+
+def run_cell_with_checkpoints(
+    cell,
+    ckpt_path,
+    every: int = DEFAULT_CHECKPOINT_EVERY,
+    heartbeat: Optional[Callable[[], bool]] = None,
+):
+    """Run one sweep cell, checkpointing to ``ckpt_path`` as it goes.
+
+    Resumes from an existing checkpoint file when one is present
+    (stale or corrupt checkpoints — wrong compiler version, truncated
+    write — silently restart the cell from cycle zero).  Produces the
+    same :class:`CellResult` rows as the in-process
+    :func:`repro.sim.sweep.run_cell`; statistics are bit-identical to
+    an uninterrupted run by the checkpoint contract.  Falls back to
+    the straight runner when checkpointing is disabled
+    (``REPRO_NO_CKPT=1``) or the cell's flags make the machine
+    un-snapshottable (e.g. ``check_coherence`` attaches closures).
+    """
+    from repro.sim import checkpoint as ck
+    from repro.sim.sweep import CellResult, run_cell, summarize_stats
+
+    if ck.checkpointing_disabled():
+        return run_cell(cell)
+
+    ckpt_path = Path(ckpt_path)
+    start = time.process_time()
+    machine = None
+    if ckpt_path.exists():
+        try:
+            machine = ck.load(str(ckpt_path))
+        except ck.CheckpointError:
+            machine = None
+    if machine is None:
+        spec = ck.make_spec(
+            cell.app, cell.model, n_nodes=cell.n_nodes, ways=cell.ways,
+            freq_ghz=cell.freq_ghz, preset=cell.preset, **dict(cell.flags),
+        )
+        machine = ck.build_checkpointable(spec)
+
+    def on_checkpoint(m) -> None:
+        ck.save(m, str(ckpt_path))
+        if heartbeat is not None and not heartbeat():
+            raise LeaseLost(f"lease on {cell.label} reclaimed mid-run")
+
+    budget = cell.max_cycles - machine.cycle
+    try:
+        st = ck.run_chunked(
+            machine, max(budget, 1), every=every, on_checkpoint=on_checkpoint
+        )
+    except SimulationError as exc:
+        return CellResult(
+            cell, "failed",
+            error=str(exc).splitlines()[0][:500],
+            error_type=type(exc).__name__,
+            elapsed_s=time.process_time() - start,
+        )
+    except ck.CheckpointError:
+        # The machine cannot snapshot (observer flags); run it straight.
+        return run_cell(cell)
+    return CellResult(
+        cell, "ok", stats=summarize_stats(st),
+        elapsed_s=time.process_time() - start,
+    )
+
+
+def submit_cells(queue: JobQueue, cells: Sequence, refresh: bool = False) -> int:
+    """Enqueue one job per unique cell (job id = the cell's cache key,
+    so queue identity and result-cache identity never diverge)."""
+    fresh = 0
+    for cell in cells:
+        if queue.submit(
+            cell.cache_key(), {"kind": "sweep", "cell": cell.to_dict()},
+            refresh=refresh,
+        ):
+            fresh += 1
+    return fresh
+
+
+def worker_loop(
+    queue: JobQueue,
+    worker_id: Optional[str] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    poll_s: float = 2.0,
+    max_jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Drain the queue: claim, run (checkpointing), report, repeat.
+
+    Runs until the queue is fully drained (every job ``done`` or
+    ``failed``) or ``max_jobs`` jobs have been executed; while other
+    workers hold leases it polls, so it also picks up jobs orphaned by
+    a killed neighbour.  Returns the number of jobs this worker ran.
+    """
+    worker_id = worker_id or default_worker_id()
+    note = progress or (lambda msg: None)
+    ran = 0
+    while max_jobs is None or ran < max_jobs:
+        job = queue.claim(worker_id)
+        if job is None:
+            if queue.all_done():
+                break
+            time.sleep(poll_s)
+            continue
+        job_id = job["id"]
+        cell = _cell_from_dict(job["payload"]["cell"])
+        ckpt = queue.checkpoint_path(job_id)
+        resumed = " (resuming from checkpoint)" if ckpt.exists() else ""
+        note(f"worker {worker_id}: {cell.label}{resumed}")
+        try:
+            result = run_cell_with_checkpoints(
+                cell, ckpt, every=checkpoint_every,
+                heartbeat=lambda: queue.heartbeat(job_id, worker_id),
+            )
+        except LeaseLost:
+            note(f"worker {worker_id}: lost lease on {cell.label}")
+            continue
+        except Exception as exc:  # infrastructure failure: release for retry
+            queue.fail(job_id, worker_id, f"{type(exc).__name__}: {exc}")
+            note(f"worker {worker_id}: {cell.label}: error {exc}")
+            ran += 1
+            continue
+        queue.complete(job_id, worker_id, {
+            "status": result.status,
+            "stats": result.stats,
+            "error": result.error,
+            "error_type": result.error_type,
+            "elapsed_s": result.elapsed_s,
+        })
+        note(f"worker {worker_id}: {cell.label}: {result.status} "
+             f"({result.elapsed_s:.2f}s)")
+        ran += 1
+    return ran
+
+
+def gather_results(queue: JobQueue, cells: Sequence) -> List:
+    """Map finished queue records back onto ``cells`` (input order),
+    as :class:`CellResult` rows — the same shape ``run_sweep`` returns."""
+    from repro.sim.sweep import CellResult
+
+    out = []
+    for cell in cells:
+        job = queue.get(cell.cache_key())
+        if job is None or job["state"] not in ("done", "failed"):
+            out.append(CellResult(
+                cell, "crashed",
+                error=f"job {job['state'] if job else 'missing'} at gather time",
+                error_type="QueueIncomplete",
+            ))
+        elif job["state"] == "failed":
+            out.append(CellResult(
+                cell, "crashed", error=job.get("error", ""),
+                error_type="QueueJobFailed",
+                attempts=job.get("attempts", 0),
+            ))
+        else:
+            r = job["result"]
+            out.append(CellResult(
+                cell, r["status"], stats=r["stats"], error=r["error"],
+                error_type=r["error_type"], elapsed_s=r["elapsed_s"],
+                attempts=job.get("attempts", 1),
+            ))
+    return out
+
+
+def serve_sweep(
+    queue: JobQueue,
+    cells: Sequence,
+    cache=None,
+    refresh: bool = False,
+    poll_s: float = 2.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List:
+    """Producer side of ``repro sweep --serve``.
+
+    Cache-satisfied cells never reach the queue; the rest are enqueued
+    (idempotently — a restarted server re-attaches to the same queue)
+    and polled until workers finish them.  Successful rows are written
+    back to the result cache, so a later in-process sweep of the same
+    grid is a pure cache hit.
+    """
+    note = progress or (lambda msg: None)
+    unique: Dict[str, object] = {}
+    for cell in cells:
+        unique.setdefault(cell.cache_key(), cell)
+
+    from repro.sim.sweep import CellResult
+
+    cached: Dict[str, object] = {}
+    pending = []
+    for key, cell in unique.items():
+        stats = cache.get(key) if cache is not None else None
+        if stats is not None:
+            cached[key] = CellResult(cell, "ok", stats=stats, cached=True)
+        else:
+            pending.append(cell)
+    fresh = submit_cells(queue, pending, refresh=refresh)
+    note(
+        f"serve: {len(unique)} cells ({len(cached)} cached, "
+        f"{fresh} newly queued, {len(pending) - fresh} already queued)"
+    )
+    keys = {cell.cache_key() for cell in pending}
+    while True:
+        states = {
+            key: (queue.get(key) or {}).get("state", "missing") for key in keys
+        }
+        left = sum(1 for s in states.values() if s not in ("done", "failed"))
+        if left == 0:
+            break
+        counts = queue.counts()
+        note(
+            f"serve: waiting on {left} cells "
+            f"(queue: {counts['pending']} pending, {counts['leased']} leased)"
+        )
+        time.sleep(poll_s)
+    results = gather_results(queue, pending)
+    if cache is not None:
+        for result in results:
+            if result.ok:
+                cache.put(result.cell.cache_key(), result)
+    by_key = {r.cell.cache_key(): r for r in results}
+    by_key.update(cached)
+    order = []
+    for cell in cells:
+        order.append(by_key[cell.cache_key()])
+    return order
+
+
+# ----------------------------------------------------------------------
+# pool_map durability (fuzz campaigns)
+# ----------------------------------------------------------------------
+
+
+class ResultLedger:
+    """Durable completed-item store for :func:`repro.sim.sweep.pool_map`.
+
+    One JSON file per finished item, keyed by a hash of the item's
+    identity.  ``pool_map`` consults the ledger before spawning a
+    worker and records every ``fn`` outcome after, so a killed
+    campaign replays finished items instantly on restart and only
+    re-runs the interrupted ones.  Timeouts and crashes are never
+    recorded — they stay retryable.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, ident: object) -> Path:
+        digest = hashlib.sha256(repr(ident).encode()).hexdigest()[:32]
+        return self.root / f"{digest}.json"
+
+    def get(self, ident: object) -> Optional[Dict]:
+        try:
+            return json.loads(self._path(ident).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, ident: object, outcome: Dict) -> None:
+        path = self._path(ident)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(outcome, sort_keys=True))
+        os.replace(tmp, path)

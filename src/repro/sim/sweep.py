@@ -257,6 +257,20 @@ class ResultCache:
         self.root = Path(root)
         self.refresh = refresh
         self._written: set = set()
+        # Validate eagerly so a bad --cache-dir fails up front with the
+        # offending path, not mid-sweep on the first put().
+        from repro.common.errors import ConfigError
+
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigError(
+                f"cache directory {self.root} exists but is not a directory"
+            )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot create cache directory {self.root}: {exc}"
+            ) from exc
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -375,6 +389,7 @@ def pool_map(
     on_done: Optional[
         Callable[[object, object, Optional[Dict[str, object]], float, int], None]
     ] = None,
+    ledger=None,
 ) -> None:
     """Fan ``(ident, payload)`` items over one subprocess per in-flight
     item, calling ``fn(payload)`` in the child.
@@ -392,12 +407,23 @@ def pool_map(
     "crashed", "exitcode": ...}`` for a worker that died with no
     result.  Timeouts and crashes are retried up to ``retries`` extra
     attempts before being reported; ``fn`` results never are.
+
+    ``ledger`` (a :class:`repro.sim.queue.ResultLedger`) makes the map
+    durable across process restarts: items the ledger already holds
+    are replayed to ``on_done`` (with ``attempts=0``) without spawning
+    a worker, and every fresh ``fn`` outcome is recorded.  Timeouts
+    and crashes are never recorded, so they stay retryable on the next
+    invocation.
     """
     note_done = on_done or (lambda *a: None)
     ctx = multiprocessing.get_context()
-    queue: List[Tuple[object, object, int]] = [
-        (ident, payload, 1) for ident, payload in pending
-    ]
+    queue: List[Tuple[object, object, int]] = []
+    for ident, payload in pending:
+        outcome = ledger.get(ident) if ledger is not None else None
+        if outcome is not None:
+            note_done(ident, payload, outcome, 0.0, 0)
+        else:
+            queue.append((ident, payload, 1))
     running: Dict[object, Tuple[object, object, object, float, int]] = {}
 
     def harvest(proc, ident, payload, conn, start, attempt) -> None:
@@ -406,6 +432,8 @@ def pool_map(
             msg = conn.recv()
             proc.join()
             conn.close()
+            if ledger is not None:
+                ledger.put(ident, msg)
             note_done(ident, payload, msg, elapsed, attempt)
             return
         # No result: the worker crashed or was killed.

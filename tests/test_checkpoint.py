@@ -1,0 +1,315 @@
+"""Differential testing: checkpoint/restore vs running straight through.
+
+Machine checkpointing (``repro.sim.checkpoint``) must be
+*observationally invisible*: a cell that is suspended to bytes midway
+and resumed — in the same process or after a worker kill — must
+produce the same :class:`MachineStats` and the same protocol trace
+tail as a run that was never interrupted.  As with the event-driven
+scheduler and the handler compiler, the contract is enforced
+differentially:
+
+* a hypothesis property drawing (app, model, nodes, suspend point)
+  and diffing full-run stats against snapshot/restore-midway stats,
+* full runs across all five Table 4 machine models, comparing both
+  stats and the :class:`ProtocolTracer` event stream from the suspend
+  point onward (fresh tracer attached post-restore), and
+* the queue integration: a worker killed mid-job (expired lease, live
+  checkpoint file) is resumed by a second worker from the checkpoint
+  and still reports the uninterrupted stats.
+
+``skipped_cycles`` is exempt, exactly as in ``test_differential``: a
+suspend point densely steps a cycle the straight run fast-forwarded
+over; every architectural statistic must still match.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import MODELS
+from repro.sim import checkpoint as ck
+from repro.sim.queue import (
+    JobQueue,
+    ResultLedger,
+    gather_results,
+    run_cell_with_checkpoints,
+    submit_cells,
+    worker_loop,
+)
+from repro.sim.sweep import SweepCell, pool_map, run_cell
+from repro.sim.trace import ProtocolTracer
+
+
+def _comparable(stats) -> dict:
+    d = stats.to_dict()
+    # The only legal divergence: how many idle cycles the scheduler
+    # happened to fast-forward over (a suspend point steps one densely).
+    d.pop("skipped_cycles", None)
+    return d
+
+
+def _finish(machine) -> dict:
+    machine.run(30_000_000)
+    assert machine.all_done()
+    machine.quiesce()
+    machine.finish()
+    machine.final_checks()
+    return _comparable(machine.collect_stats())
+
+
+def _trace_stream(tracer: ProtocolTracer) -> list:
+    return [asdict(ev) for ev in tracer.events]
+
+
+# ----------------------------------------------------------------------
+# Property: suspend anywhere, restore, finish — same outcome.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    app=st.sampled_from(("water", "fft")),
+    model=st.sampled_from(MODELS),
+    n_nodes=st.sampled_from((1, 2)),
+    pause=st.integers(min_value=100, max_value=5000),
+)
+def test_snapshot_restore_matches_straight_run(app, model, n_nodes, pause):
+    spec = ck.make_spec(app, model, n_nodes=n_nodes, preset="tiny")
+
+    straight = _finish(ck.build_checkpointable(spec))
+
+    m = ck.build_checkpointable(spec)
+    m.run(pause)
+    resumed = _finish(ck.restore(ck.snapshot(m)))
+
+    assert resumed == straight
+
+
+# ----------------------------------------------------------------------
+# All five machine models: stats AND the trace tail after restore.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_snapshot_restore_all_models_with_trace_tail(model):
+    spec = ck.make_spec("water", model, n_nodes=2, preset="tiny")
+    pause = 1200
+
+    m1 = ck.build_checkpointable(spec)
+    m1.run(pause)
+    tracer1 = ProtocolTracer(m1)  # events from the suspend point on
+    straight = _finish(m1)
+
+    m2 = ck.build_checkpointable(spec)
+    m2.run(pause)
+    blob = ck.snapshot(m2)
+    m3 = ck.restore(blob)
+    tracer3 = ProtocolTracer(m3)  # fresh tracer on the restored machine
+    resumed = _finish(m3)
+
+    assert m3.cycle == m1.cycle
+    assert resumed == straight
+    assert _trace_stream(tracer3) == _trace_stream(tracer1)
+
+
+def test_chunked_run_with_kill_and_reload(tmp_path):
+    """run_chunked + save/load across a simulated process death."""
+    spec = ck.make_spec("fft", "smtp", n_nodes=2, preset="tiny")
+
+    straight = _finish(ck.build_checkpointable(spec))
+
+    path = tmp_path / "cell.ckpt"
+    m = ck.build_checkpointable(spec)
+    for _ in range(3):  # a few chunks, checkpointing after each
+        m.run(1500)
+        if m.all_done():
+            break
+        ck.save(m, str(path))
+    assert path.exists(), "workload finished before any checkpoint"
+    m = ck.load(str(path))  # the "killed" worker's successor
+    resumed = _comparable(
+        ck.run_chunked(m, 30_000_000, every=2000,
+                       on_checkpoint=lambda mm: ck.save(mm, str(path)))
+    )
+    assert resumed == straight
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+
+
+def test_snapshot_refuses_plain_machines():
+    from repro.sim.driver import build_machine
+
+    machine = build_machine("base", n_nodes=1)
+    with pytest.raises(ck.CheckpointError, match="checkpoint spec"):
+        ck.snapshot(machine)
+
+
+def test_snapshot_refuses_attached_tracer():
+    spec = ck.make_spec("water", "base", n_nodes=1, preset="tiny")
+    machine = ck.build_checkpointable(spec)
+    ck.snapshot(machine)  # fine before the tracer
+    ProtocolTracer(machine)
+    with pytest.raises(ck.CheckpointError, match="tracer"):
+        ck.snapshot(machine)
+
+
+def test_restore_refuses_other_compiler_version(monkeypatch):
+    spec = ck.make_spec("water", "base", n_nodes=1, preset="tiny")
+    machine = ck.build_checkpointable(spec)
+    machine.run(500)
+    blob = ck.snapshot(machine)
+    from repro.protocol import compile as pcompile
+
+    monkeypatch.setattr(pcompile, "COMPILER_VERSION",
+                        pcompile.COMPILER_VERSION + 1)
+    with pytest.raises(ck.CheckpointError, match="compiler"):
+        ck.restore(blob)
+
+
+def test_escape_hatch_disables_checkpointing(monkeypatch, tmp_path):
+    monkeypatch.setenv(ck.NO_CKPT_ENV, "1")
+    cell = SweepCell.make("water", "base", n_nodes=1, preset="tiny")
+    path = tmp_path / "never.ckpt"
+    result = run_cell_with_checkpoints(cell, path, every=500)
+    assert result.ok
+    assert not path.exists()
+
+
+def test_unsnapshottable_flags_fall_back_to_straight_run(tmp_path):
+    # check_coherence attaches closure hooks at Machine construction,
+    # so the checkpointed runner must degrade to the plain one.
+    cell = SweepCell.make(
+        "water", "base", n_nodes=1, preset="tiny", check_coherence=True
+    )
+    path = tmp_path / "blocked.ckpt"
+    result = run_cell_with_checkpoints(cell, path, every=500)
+    assert result.ok
+    straight = run_cell(cell)
+    assert {k: v for k, v in result.stats.items() if k != "skipped_cycles"} \
+        == {k: v for k, v in straight.stats.items() if k != "skipped_cycles"}
+
+
+# ----------------------------------------------------------------------
+# The persistent queue
+# ----------------------------------------------------------------------
+
+
+def test_queue_lease_lifecycle(tmp_path):
+    q = JobQueue(tmp_path / "q", lease_s=0.05)
+    assert q.submit("a", {"n": 1})
+    assert not q.submit("a", {"n": 2}), "submit must be idempotent"
+
+    job = q.claim("w1")
+    assert job["id"] == "a" and job["attempts"] == 1
+    assert q.claim("w2") is None, "leased job must not be double-claimed"
+    assert q.heartbeat("a", "w1")
+    assert not q.heartbeat("a", "w2"), "only the lease holder heartbeats"
+
+    time.sleep(0.08)  # lease expires
+    stolen = q.claim("w2")
+    assert stolen is not None and stolen["attempts"] == 2
+    assert not q.heartbeat("a", "w1"), "original worker lost the lease"
+    assert q.complete("a", "w2", {"ok": True})
+    assert q.counts() == {"pending": 0, "leased": 0, "done": 1, "failed": 0}
+
+
+def test_queue_exhausts_attempts(tmp_path):
+    q = JobQueue(tmp_path / "q", lease_s=0.01)
+    q.submit("a", {}, max_attempts=2)
+    for _ in range(2):
+        assert q.claim("w") is not None
+        time.sleep(0.03)
+    assert q.claim("w") is None
+    assert q.get("a")["state"] == "failed"
+    assert q.all_done()
+
+
+def test_killed_worker_resumes_from_checkpoint(tmp_path):
+    """The acceptance criterion: a killed sweep worker's job is
+    reclaimed and resumed from its last checkpoint to the same final
+    stats an uninterrupted run produces."""
+    cell = SweepCell.make("fft", "smtp", n_nodes=2, preset="tiny")
+    straight = run_cell(cell)
+
+    q = JobQueue(tmp_path / "q", lease_s=0.05)
+    submit_cells(q, [cell])
+
+    # Worker 1 claims the job, checkpoints midway, then "dies" (no
+    # complete, no further heartbeats).
+    job = q.claim("victim")
+    spec = ck.make_spec(cell.app, cell.model, n_nodes=cell.n_nodes,
+                        ways=cell.ways, freq_ghz=cell.freq_ghz,
+                        preset=cell.preset)
+    m = ck.build_checkpointable(spec)
+    m.run(2000)
+    assert not m.all_done()
+    ck.save(m, str(q.checkpoint_path(job["id"])))
+    time.sleep(0.08)  # the victim's lease expires
+
+    ran = worker_loop(q, worker_id="rescuer", checkpoint_every=3000)
+    assert ran == 1
+    record = q.get(job["id"])
+    assert record["state"] == "done"
+    assert record["attempts"] == 2, "resume burned the reclaim attempt"
+    assert not q.checkpoint_path(job["id"]).exists(), \
+        "checkpoint cleaned up after completion"
+
+    (result,) = gather_results(q, [cell])
+    assert result.ok
+    assert {k: v for k, v in result.stats.items() if k != "skipped_cycles"} \
+        == {k: v for k, v in straight.stats.items() if k != "skipped_cycles"}
+
+
+# ----------------------------------------------------------------------
+# pool_map durability ledger
+# ----------------------------------------------------------------------
+
+
+def _double(payload):
+    return {"value": payload * 2}
+
+
+def test_pool_map_ledger_replays_finished_items(tmp_path):
+    ledger = ResultLedger(tmp_path / "ledger")
+    pending = [("a", 1), ("b", 2)]
+
+    seen = {}
+    pool_map(pending, _double, jobs=2,
+             on_done=lambda i, p, o, e, a: seen.update({i: (o, a)}),
+             ledger=ledger)
+    assert seen["a"][0] == {"value": 2} and seen["a"][1] == 1
+
+    replayed = {}
+    pool_map(pending, _double, jobs=2,
+             on_done=lambda i, p, o, e, a: replayed.update({i: (o, a)}),
+             ledger=ledger)
+    assert replayed == {
+        "a": ({"value": 2}, 0),
+        "b": ({"value": 4}, 0),
+    }, "second run must replay from the ledger (attempts=0, no worker)"
+
+
+def test_campaign_ledger_resumes_without_refuzzing(tmp_path, monkeypatch):
+    from repro.fuzz import campaign as fc
+
+    cells = fc.make_cells([11, 12], n_nodes=1, max_cycles=300_000)
+    ledger = ResultLedger(tmp_path / "ledger")
+    first = fc.run_campaign(cells, jobs=0, out_dir=tmp_path / "art",
+                            shrink=False, ledger=ledger)
+    assert all(r.ok for r in first)
+
+    def boom(*a, **k):  # a replayed campaign must not fuzz anything
+        raise AssertionError("run_fuzz_cell called on a fully-recorded run")
+
+    monkeypatch.setattr(fc, "run_fuzz_cell", boom)
+    second = fc.run_campaign(cells, jobs=0, out_dir=tmp_path / "art",
+                             shrink=False, ledger=ledger)
+    assert [r.to_dict() for r in second] == [r.to_dict() for r in first]

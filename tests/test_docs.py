@@ -1,0 +1,19 @@
+"""Tier-1 enforcement of docs staleness (see tools/check_docs.py).
+
+A renamed/removed CLI flag that the docs still describe — or a new
+sweep/fuzz flag the operator's manual never learned about — fails the
+suite, not just ``make docs-check``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_match_live_cli_help(capsys):
+    rc = check_docs.main()
+    out = capsys.readouterr().out
+    assert rc == 0, f"stale documentation:\n{out}"

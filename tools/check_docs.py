@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Docs-staleness check: documented CLI flags vs live ``--help``.
+
+Documentation rots in two directions: a doc keeps describing a flag
+that was renamed or removed, or a new flag ships without the
+operator's manual learning about it.  This checker catches both by
+comparing the ``--long-flag`` tokens found in the prose against the
+flags argparse actually advertises:
+
+1. **No phantom flags** — every ``--flag`` token appearing in a
+   checked doc must exist in the live ``--help`` output of at least
+   one of the subcommands that doc is mapped to (or be on the small
+   external allowlist, e.g. pytest flags quoted in examples).
+
+2. **No undocumented operator flags** — every flag of ``sweep`` and
+   ``fuzz`` must be mentioned in ``docs/sweep-service.md``, the
+   operator's manual.  (``analyze`` flags are checked in direction 1
+   only; its reference lives in ``docs/handlers.md`` prose.)
+
+Run as ``make docs-check`` or ``python tools/check_docs.py``; exit 0
+clean, 1 stale.  ``tests/test_docs.py`` wraps it so staleness also
+fails tier-1.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Doc file -> repro subcommands whose flags it may legitimately cite.
+DOC_COMMANDS = {
+    "docs/sweep-service.md": ("sweep", "fuzz"),
+    "docs/architecture.md": ("run", "sweep", "fuzz", "analyze"),
+    "EXPERIMENTS.md": ("run", "sweep", "fuzz", "analyze"),
+    "README.md": ("run", "sweep", "fuzz", "analyze"),
+}
+
+# Operator's-manual completeness: these commands' full flag sets must
+# appear in docs/sweep-service.md.
+MANUAL_DOC = "docs/sweep-service.md"
+MANUAL_COMMANDS = ("sweep", "fuzz")
+
+# Flags of *other* tools that docs may quote in examples.
+ALLOWED_EXTERNAL = {
+    "--help",
+    "--benchmark-only",  # pytest-benchmark, used by `make bench`
+    "--no-build-isolation",  # pip, quoted in the README install notes
+    "--version",
+}
+
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def live_flags(command: str) -> set[str]:
+    """The ``--long`` options argparse advertises for a subcommand."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", command, "--help"],
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        cwd=REPO, check=True,
+    )
+    return set(FLAG_RE.findall(proc.stdout))
+
+
+def doc_flags(path: Path) -> set[str]:
+    return set(FLAG_RE.findall(path.read_text()))
+
+
+def main() -> int:
+    problems: list[str] = []
+    help_cache: dict[str, set[str]] = {}
+
+    def flags_for(commands) -> set[str]:
+        out: set[str] = set()
+        for cmd in commands:
+            if cmd not in help_cache:
+                help_cache[cmd] = live_flags(cmd)
+            out |= help_cache[cmd]
+        return out
+
+    # Direction 1: no phantom flags in the docs.
+    for rel, commands in DOC_COMMANDS.items():
+        path = REPO / rel
+        if not path.exists():
+            problems.append(f"{rel}: checked doc is missing")
+            continue
+        known = flags_for(commands) | ALLOWED_EXTERNAL
+        for flag in sorted(doc_flags(path) - known):
+            problems.append(
+                f"{rel}: documents {flag}, which no mapped command "
+                f"({', '.join(commands)}) advertises in --help"
+            )
+
+    # Direction 2: the operator's manual covers every sweep/fuzz flag.
+    manual = REPO / MANUAL_DOC
+    if manual.exists():
+        documented = doc_flags(manual)
+        for cmd in MANUAL_COMMANDS:
+            for flag in sorted(flags_for((cmd,)) - documented):
+                if flag in ALLOWED_EXTERNAL:
+                    continue
+                problems.append(
+                    f"{MANUAL_DOC}: `{cmd}` flag {flag} is live in "
+                    f"--help but undocumented"
+                )
+
+    for line in problems:
+        print(f"docs-check: {line}")
+    if problems:
+        print(f"docs-check: {len(problems)} stale reference(s)")
+        return 1
+    checked = ", ".join(sorted(DOC_COMMANDS))
+    print(f"docs-check: ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
