@@ -28,7 +28,7 @@ lint:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		PYTHONPATH=src $(PYTHON) -m mypy -p repro.protocol -p repro.isa \
 			-p repro.analyze -p repro.core -p repro.common -p repro.pipeline \
-			-p repro.memctrl; \
+			-p repro.memctrl -p repro.apps; \
 	else echo "lint: mypy not installed, skipping"; fi
 
 # CI-sized sweep (2 apps x 2 models + two n=2 cells + one

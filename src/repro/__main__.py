@@ -173,13 +173,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # the same machine conditions; the gate normalizes with it.
     reference_s = measure_reference_s()
 
-    # The pre-compilation speedup-floor block is sticky: a refresh
-    # rewrites the timing rows but keeps the recorded interpreter-era
-    # reference it gates against.
+    # The speedup-floor blocks are sticky: a refresh rewrites the
+    # timing rows but keeps the recorded reference-build blocks it
+    # gates against (interpreter-era and pre-app-compile-era).
     pre_compile = baseline.get("pre_compile") if baseline else None
+    pre_app_compile = baseline.get("pre_app_compile") if baseline else None
     path = write_bench_json(args.out, name, results, jobs=jobs,
                             wall_clock_s=wall, reference_s=reference_s,
-                            pre_compile=pre_compile)
+                            pre_compile=pre_compile,
+                            pre_app_compile=pre_app_compile)
     print(f"\nwrote {path}")
 
     if baseline is not None:

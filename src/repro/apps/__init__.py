@@ -2,17 +2,29 @@
 
 from repro.apps import fft, fftw, lu, ocean, radix, synthetic, water
 from repro.apps.base import AppContext
+from repro.apps.compile import (
+    APP_COMPILER_VERSION,
+    CompiledKernelBuilder,
+    CompiledProgram,
+    app_interp_forced,
+    build_program,
+)
 from repro.apps.program import AWAIT, KernelBuilder, ThreadProgram
 from repro.apps.runtime import AddressSpace, SpinLock, TreeBarrier, spin_until
 
 __all__ = [
+    "APP_COMPILER_VERSION",
     "AWAIT",
     "AddressSpace",
     "AppContext",
+    "CompiledKernelBuilder",
+    "CompiledProgram",
     "KernelBuilder",
     "SpinLock",
     "ThreadProgram",
     "TreeBarrier",
+    "app_interp_forced",
+    "build_program",
     "fft",
     "fftw",
     "lu",

@@ -8,10 +8,14 @@ barrier setup, and per-thread program construction.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List
+from typing import TYPE_CHECKING, Callable, Iterator, List
 
+from repro.apps.compile import build_program
 from repro.apps.program import KernelBuilder, ThreadProgram
 from repro.apps.runtime import AddressSpace, TreeBarrier
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 
 #: Each thread's code region (synthetic PCs).
 PC_STRIDE = 1 << 20
@@ -23,7 +27,7 @@ BodyFn = Callable[[KernelBuilder, int], Iterator]
 class AppContext:
     """Geometry + runtime shared by one application instance."""
 
-    def __init__(self, machine) -> None:
+    def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.n_nodes = machine.mp.n_nodes
         self.ways = machine.mp.proc.app_threads
@@ -40,16 +44,19 @@ class AppContext:
         Programs record their resume logs when the machine asks for
         checkpointable sources (``machine.record_programs``), which is
         what lets :mod:`repro.sim.checkpoint` rebuild the coroutines.
+
+        This is the single chokepoint for source construction:
+        :func:`repro.apps.compile.build_program` picks the superblock-
+        compiled program classes, or the reference interpreter under
+        ``REPRO_APP_INTERP=1``.
         """
         record = getattr(self.machine, "record_programs", False)
         sources: List[List[ThreadProgram]] = [[] for _ in range(self.n_nodes)]
         for g in range(self.n_threads):
-            k = KernelBuilder(
-                thread=g % self.ways, pc_base=PC_BASE + g * PC_STRIDE
-            )
-            prog = ThreadProgram(
-                lambda kk, gg=g: body(kk, gg), k, wheel=self.machine.wheel,
-                record=record,
+            prog = build_program(
+                body, lambda kk, gg=g: body(kk, gg),
+                thread=g % self.ways, pc_base=PC_BASE + g * PC_STRIDE,
+                wheel=self.machine.wheel, record=record,
             )
             sources[self.node_of(g)].append(prog)
         return sources

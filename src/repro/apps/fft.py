@@ -12,15 +12,19 @@ use prefetching and tiling like the tuned SPLASH-2 code.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 
 POINT_BYTES = 16  # complex double
 
 
-def make_sources(machine, points: int = 4096, block: int = 8):
+def make_sources(machine: Machine, points: int = 4096,
+                 block: int = 8) -> List[List[ThreadProgram]]:
     """Build FFT thread programs.  ``points`` must be a square of a
     power of two; the matrix is √points × √points."""
     side = int(math.isqrt(points))

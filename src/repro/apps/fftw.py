@@ -12,15 +12,19 @@ bottleneck (§2.3).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 
 POINT_BYTES = 16
 
 
-def make_sources(machine, nx: int = 16, ny: int = 8, nz: int = 8, block: int = 8):
+def make_sources(machine: Machine, nx: int = 16, ny: int = 8,
+                 nz: int = 8, block: int = 8) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
     planes = ctx.block_map(nx)
     plane_points = ny * nz

@@ -11,15 +11,18 @@ LU is one of the paper's two compute-intensive applications.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Tuple
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 
 WORD = 8
 
 
-def make_sources(machine, n: int = 64, block: int = 8):
+def make_sources(machine: Machine, n: int = 64, block: int = 8) -> List[List[ThreadProgram]]:
     if n % block:
         raise ValueError(f"n {n} not divisible by block {block}")
     nb = n // block
@@ -55,7 +58,9 @@ def make_sources(machine, n: int = 64, block: int = 8):
             k.store(elem(i, i, r, r), d)
             yield
 
-    def update_block(k: KernelBuilder, bi: int, bj: int, src1, src2) -> Iterator:
+    def update_block(k: KernelBuilder, bi: int, bj: int,
+                     src1: Tuple[int, int],
+                     src2: Tuple[int, int]) -> Iterator:
         """dst -= src1 * src2 (B³ multiply-accumulate, blocked rows)."""
         s1i, s1j = src1
         s2i, s2j = src2

@@ -11,16 +11,20 @@ the test–lock–test–set lock the paper's §3 optimization describes.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 from repro.apps.runtime import AWAIT, SpinLock
 
 WORD = 8
 
 
-def make_sources(machine, grid: int = 34, iters: int = 3):
+def make_sources(machine: Machine, grid: int = 34,
+                 iters: int = 3) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
     inner = grid - 2
     rmap = ctx.block_map(inner)  # interior rows 1..inner map to index-1
@@ -30,7 +34,14 @@ def make_sources(machine, grid: int = 34, iters: int = 3):
         for g in range(ctx.n_threads)
     ]
 
+    # Pure in (row, col) for fixed bases/rmap; memoized because the
+    # sweep kernels revisit every grid point each iteration.
+    _addr_memo: Dict[Tuple[int, int], int] = {}
+
     def addr(row: int, col: int) -> int:
+        a = _addr_memo.get((row, col))
+        if a is not None:
+            return a
         if row == 0:
             owner, local = 0, 0
         elif row > inner:
@@ -39,7 +50,9 @@ def make_sources(machine, grid: int = 34, iters: int = 3):
         else:
             owner = rmap.owner_of(row - 1)
             local = rmap.local_index(row - 1) + 1
-        return bases[owner] + local * row_bytes + col * WORD
+        a = bases[owner] + local * row_bytes + col * WORD
+        _addr_memo[(row, col)] = a
+        return a
 
     error_lock = SpinLock(ctx.space, node=0)
     error_word = ctx.space.alloc(0, 128)

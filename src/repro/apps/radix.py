@@ -15,16 +15,20 @@ stable counting-sort order of those keys.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 
 WORD = 8
 
 
-def make_sources(machine, keys: int = 4096, radix: int = 64, passes: int = 2,
-                 seed: int = 12345):
+def make_sources(machine: Machine, keys: int = 4096, radix: int = 64,
+                 passes: int = 2,
+                 seed: int = 12345) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
     positions = ctx.block_map(keys)
     rng = random.Random(seed)

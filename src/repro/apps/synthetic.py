@@ -11,16 +11,19 @@ Small, targeted traffic patterns with fully-predictable behaviour:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, List
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 from repro.apps.runtime import AWAIT, SpinLock, spin_until
 
 WORD = 8
 
 
-def stream(machine, words: int = 512, rounds: int = 1):
+def stream(machine: Machine, words: int = 512, rounds: int = 1) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
     bases = [
         ctx.space.alloc(ctx.node_of(g), words * WORD) for g in range(ctx.n_threads)
@@ -43,7 +46,7 @@ def stream(machine, words: int = 512, rounds: int = 1):
     return ctx.build_sources(body)
 
 
-def pingpong(machine, rounds: int = 20):
+def pingpong(machine: Machine, rounds: int = 20) -> List[List[ThreadProgram]]:
     """Threads 0 and 1 alternately increment one shared word."""
     ctx = AppContext(machine)
     if ctx.n_threads < 2:
@@ -64,7 +67,8 @@ def pingpong(machine, rounds: int = 20):
     return ctx.build_sources(body)
 
 
-def sharing(machine, rounds: int = 10, reader_words: int = 16):
+def sharing(machine: Machine, rounds: int = 10,
+            reader_words: int = 16) -> List[List[ThreadProgram]]:
     """Thread 0 writes a block each round; all others read it."""
     ctx = AppContext(machine)
     block = ctx.space.alloc(0, reader_words * WORD)
@@ -90,7 +94,7 @@ def sharing(machine, rounds: int = 10, reader_words: int = 16):
     return ctx.build_sources(body)
 
 
-def lockstep(machine, rounds: int = 10):
+def lockstep(machine: Machine, rounds: int = 10) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
 
     def body(k: KernelBuilder, g: int) -> Iterator:
@@ -102,7 +106,7 @@ def lockstep(machine, rounds: int = 10):
     return ctx.build_sources(body)
 
 
-def contended_lock(machine, increments: int = 5):
+def contended_lock(machine: Machine, increments: int = 5) -> List[List[ThreadProgram]]:
     """Every thread increments a shared counter under one lock."""
     ctx = AppContext(machine)
     lock = SpinLock(ctx.space, node=0)

@@ -14,17 +14,21 @@ occupancy, and poorly-trained protocol branch prediction.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List
 
 from repro.apps.base import AppContext
-from repro.apps.program import KernelBuilder
+from repro.apps.program import KernelBuilder, ThreadProgram
+
+if TYPE_CHECKING:
+    from repro.core.machine import Machine
 from repro.apps.runtime import SpinLock
 
 WORD = 8
 MOL_WORDS = 16  # positions, velocities, forces (3 atoms' worth, scaled)
 
 
-def make_sources(machine, molecules: int = 24, steps: int = 2):
+def make_sources(machine: Machine, molecules: int = 24,
+                 steps: int = 2) -> List[List[ThreadProgram]]:
     ctx = AppContext(machine)
     mmap = ctx.block_map(molecules)
     mol_base: List[int] = []

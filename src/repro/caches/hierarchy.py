@@ -192,21 +192,49 @@ class CacheHierarchy:
     ):
         """Issue a load.  Returns (HIT, latency, value), (MISS,) with
         ``on_complete(value)`` deferred, or (BLOCKED,)."""
-        if protocol and self.pp.perfect_protocol_caches:
-            return HIT, self.pp.l1d.hit_latency, self._read_value(addr)
-        extra = 0
-        if not protocol and not self.dtlb.access(addr):
-            extra = self.pp.tlb_miss_penalty
-
-        # L1D (plus D-bypass for the protocol thread).
-        line = self.l1d.access(addr)
-        if line is not None:
-            self.stats.l1d.record(True, protocol)
-            return HIT, self.pp.l1d.hit_latency + extra, self._read_value(addr)
-        if protocol and self.dbypass.lookup(addr) is not None:
-            self.stats.l1d.record(True, protocol)
-            return HIT, self.pp.l1d.hit_latency + extra, self._read_value(addr)
-        self.stats.l1d.record(False, protocol)
+        if not protocol:
+            # Application fast path: the TLB touch and the L1D probe
+            # loop are inlined — one load per application memory µop
+            # lands here, the overwhelmingly common hierarchy call.
+            dtlb = self.dtlb
+            page = addr >> dtlb.page_shift
+            entries = dtlb.entries
+            if page in entries:
+                entries.move_to_end(page)
+                dtlb.hits += 1
+                extra = 0
+            else:
+                dtlb.misses += 1
+                if len(entries) >= dtlb.capacity:
+                    entries.popitem(last=False)
+                entries[page] = None
+                extra = self.pp.tlb_miss_penalty
+            l1 = self.l1d
+            tag = addr >> l1.line_shift
+            for line in l1._sets[tag & l1.set_mask]:
+                if line.state is not CacheState.INVALID and line.tag == tag:
+                    l1._tick += 1
+                    line.lru = l1._tick
+                    self.stats.l1d.app_hits += 1
+                    return (
+                        HIT,
+                        self.pp.l1d.hit_latency + extra,
+                        self.read_word(addr),
+                    )
+            self.stats.l1d.app_misses += 1
+        else:
+            if self.pp.perfect_protocol_caches:
+                return HIT, self.pp.l1d.hit_latency, self._read_value(addr)
+            extra = 0
+            # L1D (plus D-bypass for the protocol thread).
+            line = self.l1d.access(addr)
+            if line is not None:
+                self.stats.l1d.record(True, protocol)
+                return HIT, self.pp.l1d.hit_latency + extra, self._read_value(addr)
+            if self.dbypass.lookup(addr) is not None:
+                self.stats.l1d.record(True, protocol)
+                return HIT, self.pp.l1d.hit_latency + extra, self._read_value(addr)
+            self.stats.l1d.record(False, protocol)
 
         # L2 (plus L2 bypass).
         l2_line = self.l2.access(addr)

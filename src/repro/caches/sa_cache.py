@@ -73,21 +73,27 @@ class SetAssocCache:
         return addr >> self.line_shift
 
     # -- probes ---------------------------------------------------------
+    # The probe loops test ``state``/``tag`` directly rather than the
+    # ``valid`` property: a probe runs per way per access on the
+    # pipeline's hot path, and a property is a Python-level call.
+
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the valid line holding ``addr`` without touching LRU."""
-        tag = self._tag(addr)
-        for line in self._sets[self.set_index(addr)]:
-            if line.valid and line.tag == tag:
+        tag = addr >> self.line_shift
+        for line in self._sets[tag & self.set_mask]:
+            if line.state is not CacheState.INVALID and line.tag == tag:
                 return line
         return None
 
     def access(self, addr: int) -> Optional[CacheLine]:
         """Like :meth:`lookup` but promotes the line to MRU."""
-        line = self.lookup(addr)
-        if line is not None:
-            self._tick += 1
-            line.lru = self._tick
-        return line
+        tag = addr >> self.line_shift
+        for line in self._sets[tag & self.set_mask]:
+            if line.state is not CacheState.INVALID and line.tag == tag:
+                self._tick += 1
+                line.lru = self._tick
+                return line
+        return None
 
     def set_has_locked_conflict(self, addr: int) -> bool:
         """True if every way of ``addr``'s set is valid-and-locked or

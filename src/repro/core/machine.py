@@ -217,6 +217,38 @@ class Machine:
             self.sanitizer.on_cycle(cycle)
         return awake
 
+    def _event_step_1core(self) -> bool:
+        """:meth:`_event_step` with the core loop unrolled for the
+        single-node machine (no sanitizer attached).  Same cycle
+        skeleton, same wake tests, no per-cycle list walk."""
+        self.cycle = cycle = self.cycle + 1
+        wheel = self.wheel
+        if wheel._heap and wheel._heap[0][0] <= cycle:
+            if wheel.tick(cycle):
+                self._progress_cycle = cycle
+        else:
+            wheel.now = cycle
+        if cycle % self._mc_divisor == 0:
+            for mc in self._mcs:
+                mc.step()
+        core = self._cores[0]
+        awake = False
+        if core._worked or core._wake_flag or 0 < core._unit_wake <= cycle:
+            # core.step() with its mode dispatch hoisted here: skips
+            # one wrapper frame per awake cycle.
+            if core._use_1t:
+                core._step_1t()
+            else:
+                core.step()
+            if core._worked or core._wake_flag:
+                awake = True
+        elif core._ff_plan is None:
+            core._ff_plan = core._build_ff_plan()
+            core._ff_anchor = cycle
+        if cycle - self._progress_cycle > self._watchdog:
+            raise DeadlockError(self._deadlock_report())
+        return awake
+
     def run(self, max_cycles: int) -> None:
         step = self.step
         all_done = self.all_done
@@ -226,7 +258,11 @@ class Machine:
                     return
                 step()
             return
-        step = self._event_step
+        step = (
+            self._event_step_1core
+            if len(self._cores) == 1 and self.sanitizer is None
+            else self._event_step
+        )
         deadline = self.cycle + max_cycles
         # ``all_done`` can only turn true on a cycle some core committed
         # (which sets ``_worked``, making ``step`` return True), so it
@@ -235,6 +271,18 @@ class Machine:
         # the thread walk while asleep.
         check_done = True
         try:
+            if step is self._event_step_1core and self._cores[0]._use_1t:
+                # Fused single-app-thread core: completion is that one
+                # thread's plain ``done`` flag — skip the all_done()/
+                # core.done property round trip per awake cycle.
+                t0 = self._cores[0]._t0
+                while self.cycle < deadline:
+                    if check_done and t0.done:
+                        return
+                    check_done = step()
+                    if not check_done and self.cycle < deadline:
+                        self._maybe_fast_forward(deadline)
+                return
             while self.cycle < deadline:
                 if check_done and all_done():
                     return
@@ -248,7 +296,11 @@ class Machine:
                 core.flush_idle_fixup(through=True)
 
     def all_done(self) -> bool:
-        return all(core.done for core in self._cores)
+        # Called once per awake cycle: a plain loop, no genexpr frame.
+        for core in self._cores:
+            if not core.done:
+                return False
+        return True
 
     def quiesce(self, max_cycles: int = 2_000_000) -> None:
         """Run until every in-flight transaction has drained."""

@@ -105,6 +105,7 @@ class Uop:
         "is_fp",
         # dynamic (pipeline state)
         "seq",
+        "iq_pos",
         "psrcs",
         "n_wait",
         "pdest",
@@ -172,6 +173,9 @@ class Uop:
         ) = _KIND_FLAGS[kind]
 
         self.seq = 0
+        #: IQ admission order (the compiled issue path's heap key; the
+        #: interpreted path's list order carries the same information).
+        self.iq_pos = 0
         self.psrcs: Tuple[int, ...] = ()
         #: Unready physical sources (maintained by the rename unit's
         #: wakeup lists); the issue stage tests this instead of
@@ -229,6 +233,7 @@ class Uop:
         u.commit_stage = self.commit_stage
         u.is_fp = self.is_fp
         u.seq = 0
+        u.iq_pos = 0
         u.psrcs = ()
         u.n_wait = 0
         u.pdest = -1
@@ -293,6 +298,7 @@ def protocol_uop(
         u.is_fp,
     ) = _KIND_FLAGS[kind]
     u.seq = 0
+    u.iq_pos = 0
     u.psrcs = ()
     u.n_wait = 0
     u.pdest = -1

@@ -27,15 +27,19 @@ the map/RAS checkpoints restored.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from functools import partial
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.apps.compile import app_interp_forced
 from repro.caches.hierarchy import BLOCKED, HIT, MISS
 from repro.common.params import ProcessorParams
 from repro.common.queues import DualQueue, ReservedPool
 from repro.common.stats import ThreadStats
-from repro.isa.uop import Uop, UopKind
+from repro.isa.uop import FP_BASE, Uop, UopKind
 from repro.pipeline.branch import BTB, ReturnAddressStack, TournamentPredictor
 from repro.pipeline.regfile import RenameUnit
 from repro.protocol.extensions import AM_OPS
@@ -59,6 +63,12 @@ _EXEC_LATENCY = {
     UopKind.RETURN: 1,
 }
 
+#: ``READ_STAGES + _latency_of`` for µops whose own ``latency`` field is
+#: the default 1 (every µop the application tier emits), indexed by
+#: kind — the compiled issue path's table form of :meth:`SMTCore._latency_of`.
+_LAT1 = [READ_STAGES + _EXEC_LATENCY.get(UopKind(_k), 1) if _k else 0
+         for _k in range(max(UopKind) + 1)]
+
 
 class ThreadContext:
     """Per-hardware-context front-end and window state."""
@@ -67,6 +77,7 @@ class ThreadContext:
         "tid",
         "source",
         "protocol",
+        "compiled_src",
         "rob",
         "icount",
         "fetch_stalled",
@@ -85,6 +96,9 @@ class ThreadContext:
         self.tid = tid
         self.source = source
         self.protocol = protocol
+        # Sampled once: the superblock-compiled fetch path needs the
+        # source's cursor/boundary state (repro.apps.compile).
+        self.compiled_src = bool(getattr(source, "compiled", False))
         self.rob: Deque[Uop] = deque()
         self.icount = 0
         self.fetch_stalled = False
@@ -154,6 +168,13 @@ class SMTCore:
         self._seq = 0
         self._rr = 0
         self.cycle = 0
+        # Static-parameter and thread-subset caches for the per-cycle
+        # stages (two attribute loads each on the reference path).
+        self._active_list = pp.active_list_per_thread
+        self._few = pp.front_end_width
+        self._commit_width = pp.commit_width
+        self._fetch_width = pp.fetch_width
+        self._app_threads = [t for t in self.threads if not t.protocol]
         self.div_free_at = 0
         self.fdiv_free_at = 0
         # Activity contract (see DESIGN.md): ``_worked`` records whether
@@ -185,6 +206,71 @@ class SMTCore:
         self._sb_fifo: Dict[int, Deque[Uop]] = {
             t.tid: deque() for t in self.threads
         }
+        # Compiled fetch/issue fast path (repro.apps.compile).  The
+        # reference scan keeps every waiting µop in one list and
+        # re-tests n_wait/budgets per µop per cycle; the compiled path
+        # splits the window by *why* a µop is waiting — ready non-memory
+        # µops in per-side heaps keyed by IQ admission order (admitted
+        # by the rename unit's on_ready hook the moment their last
+        # source completes), memory µops in per-thread program-order
+        # FIFOs whose heads are the only possible issue candidates
+        # (mem_seq gating), prefetches in their own FIFO — so each
+        # issue cycle touches only actionable µops.  Bit-identical to
+        # _issue: candidates are processed in admission order, exactly
+        # the reference list order.  REPRO_APP_INTERP=1 restores the
+        # reference scan (and the per-µop fetch/decode loops).
+        self._fast = not app_interp_forced()
+        self._iq_pos = 0
+        self._iqr: List[Tuple[int, Uop]] = []
+        self._fqr: List[Tuple[int, Uop]] = []
+        self._pf_fifo: Deque[Uop] = deque()
+        self._mem_fifo: Dict[int, Deque[Uop]] = {
+            t.tid: deque() for t in self.threads
+        }
+        # Memory µops in the FIFOs whose sources are all ready.  Only a
+        # FIFO *head* can issue, but heads are the oldest entries, so
+        # "no ready µop anywhere" ⇒ "no candidate head" and the issue
+        # stage can be skipped without losing the reference's
+        # blocked-attempt recurrence (an attempt needs n_wait == 0).
+        self._mem_ready = 0
+        if self._fast:
+            self.rename.on_ready = self._uop_ready
+        # Rename-stall latch: nonzero when the rename-queue head
+        # bounced off a full resource, coded by what blocked it —
+        # 1 = issue-queue pool (freed only by issue or squash),
+        # 2 = window/register/LSQ/branch-stack (freed by retire or
+        # squash).  Issue and squash clear the latch outright; retire
+        # clears only code 2 (``&= 1``) since it frees no IQ slot.
+        # While latched, the fused step skips the per-cycle rename
+        # retry — the reference retries every cycle, but a retry
+        # between two frees is a guaranteed failure, so skipping it
+        # changes nothing.
+        self._rn_wait = 0
+        # Fully fused per-cycle path for the single-compiled-app-thread
+        # core (every non-SMTp model at ways=1) — see _step_1t.  The
+        # app-side pool/queue limits are immutable after construction,
+        # so the fused stages read one precomputed bound instead of
+        # re-deriving ``total - reserved`` per cycle.
+        self._t0 = self.threads[0]
+        self._t0_fifo = self._mem_fifo[self._t0.tid]
+        self._t0_sb = self._sb_fifo[self._t0.tid]
+        # No protocol context exists on the fused core, so ``proto_used``
+        # is identically 0 for every pool and the app-side occupancy
+        # tests reduce to ``app_used >= cap``.
+        self._sb_cap = self.sb_pool.total - self.sb_pool.reserved
+        self._iq_cap = self.iq_pool.total - self.iq_pool.reserved
+        self._fq_cap = self.fq_pool.total - self.fq_pool.reserved
+        self._lsq_cap = self.lsq_pool.total - self.lsq_pool.reserved
+        self._bs_cap = self.bstack_pool.total - self.bstack_pool.reserved
+        self._dq_room = self.decode_q.capacity - self.decode_q.reserved
+        self._rq_room = self.rename_q.capacity - self.rename_q.reserved
+        # Scratch list for DIV/FDIV µops parked while their unit is
+        # busy (rare) — reused across cycles so the common all-clear
+        # issue pass allocates nothing.
+        self._gated: List[Tuple[int, Uop]] = []
+        self._use_1t = (
+            self._fast and len(self.threads) == 1 and self._t0.compiled_src
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -307,6 +393,9 @@ class SMTCore:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
+        if self._use_1t:
+            self._step_1t()
+            return
         if self._ff_plan is not None:
             self.flush_idle_fixup()
         self.cycle = self.wheel.now
@@ -323,7 +412,10 @@ class SMTCore:
         self._commit()
         # Empty-stage guards: a skipped stage call must still advance
         # the section-priority parity its body would have toggled.
-        if self.iq or self.fq:
+        if self._fast:
+            if self._iqr or self._fqr or self._mem_ready:
+                self._issue_fast()
+        elif self.iq or self.fq:
             self._issue()
         rq = self.rename_q
         if rq.proto or rq.app:
@@ -332,10 +424,145 @@ class SMTCore:
             rq._proto_first = not rq._proto_first
         dq = self.decode_q
         if dq.proto or dq.app:
-            self._decode_stage()
+            if self._fast:
+                self._decode_stage_fast()
+            else:
+                self._decode_stage()
         else:
             dq._proto_first = not dq._proto_first
         self._fetch()
+
+    def _step_1t(self) -> None:
+        """:meth:`step`, fused for one compiled application thread.
+
+        Every non-SMTp model at ways=1 runs exactly one app context and
+        no protocol context, so ICOUNT selection, section-priority
+        scheduling, and the commit round-robin all degenerate; this
+        path inlines the stage bodies with those degenerate branches
+        removed.  Observationally identical to :meth:`step`: same stage
+        order, same per-cycle side effects (stall counters), same
+        ``_worked`` accounting.  The decode/rename section-priority
+        parity is not toggled — it only arbitrates between the app and
+        protocol sections and the protocol section does not exist here.
+        Application sources never produce commit-stage µops, so head
+        retirability reduces to ``completed`` (+ store-buffer room for
+        stores).
+        """
+        if self._ff_plan is not None:
+            self.flush_idle_fixup()
+        self.cycle = self.wheel.now
+        self._worked = self._wake_flag
+        self._wake_flag = False
+        self._unit_wake = 0
+        t = self._t0
+        # -- commit ----------------------------------------------------
+        rob = t.rob
+        if rob:
+            head = rob[0]
+            sb = self.sb_pool
+            sb_cap = self._sb_cap
+            if head.completed and (
+                head.kind is not UopKind.STORE
+                or sb.app_used < sb_cap
+            ):
+                # Retirement loop with :meth:`_retire` inlined in its
+                # app-specialized form: no commit-stage kinds, no
+                # protocol thread, pool/regfile releases as plain
+                # app-side arithmetic.  Code 1 of the rename latch
+                # stays latched (retirement frees no issue-queue slot).
+                budget = self._commit_width
+                stats = t.stats
+                rn = self.rename
+                free_fp = rn._free_fp
+                free_int = rn._free_int
+                committed = 0
+                while True:
+                    self._rn_wait &= 1
+                    kind = head.kind
+                    if kind is UopKind.STORE:
+                        sb.app_used += 1
+                        sfifo = self._t0_sb
+                        sfifo.append(head)
+                        if len(sfifo) == 1:
+                            self._drain_store(head)
+                        stats.stores += 1
+                    elif kind is UopKind.LOAD:
+                        stats.loads += 1
+                    if head.in_lsq:
+                        self.lsq_pool.app_used -= 1
+                    if head.is_branch:
+                        self.bstack_pool.app_used -= 1
+                    p = head.pdest_old
+                    if p != -1:
+                        if p >= 1 << 20:
+                            free_fp.append(p - (1 << 20))
+                        else:
+                            free_int.append(p)
+                    committed += 1
+                    rob.popleft()
+                    budget -= 1
+                    if budget <= 0 or not rob:
+                        break
+                    head = rob[0]
+                    if not head.completed or (
+                        head.kind is UopKind.STORE
+                        and sb.app_used >= sb_cap
+                    ):
+                        break
+                stats.committed += committed
+                self._worked = True
+                m = self.machine
+                if m is not None:
+                    m._progress_cycle = m.cycle  # note_progress, inlined
+            elif head.is_memory:
+                t.stats.memory_stall_cycles += 1
+            else:
+                t.stats.other_stall_cycles += 1
+        if not t.done and not rob and t.icount == 0 and t.source.done:
+            t.done = True
+            t.stats.finish_cycle = self.cycle
+            t.stats.done = True
+            self._worked = True
+        # -- issue -----------------------------------------------------
+        fifo = self._t0_fifo
+        if (
+            self._iqr
+            or self._fqr
+            or self._pf_fifo
+            or (fifo and not fifo[0].n_wait)
+        ):
+            self._issue_1t()
+        # -- rename ----------------------------------------------------
+        rqa = self.rename_q.app
+        if rqa and not self._rn_wait:
+            self._rename_1t(rqa)
+        # -- decode ----------------------------------------------------
+        dqa = self.decode_q.app
+        if dqa:
+            take = self._rq_room - len(rqa)
+            n = len(dqa)
+            if take > n:
+                take = n
+            width = self._few
+            if take > width:
+                take = width
+            if take > 0:
+                pop = dqa.popleft
+                push = rqa.append
+                for _ in range(take):
+                    push(pop())
+                self._worked = True
+        # -- fetch -----------------------------------------------------
+        if (
+            not t.done
+            and not t.fetch_stalled
+            and len(dqa) < self._dq_room
+        ):
+            if t.wrongpath_branch is not None:
+                if t.wp_emitted < WRONG_PATH_CAP:
+                    self._fetch_thread(t, self._fetch_width)
+            elif t.source.peek_available():
+                self._fetch_thread_fast(t, self._fetch_width)
 
     # ------------------------------------------------------------------
     # Fetch
@@ -364,7 +591,7 @@ class SMTCore:
             # ICOUNT selection degenerates to one candidate test.
             t = threads[0]
             if (proto_room if t.protocol else app_room) and self._fetchable(t):
-                self._fetch_thread(t, self.pp.fetch_width)
+                self._fetch_thread(t, self._fetch_width)
             return
         fetchable = self._fetchable
         candidates = [
@@ -376,13 +603,15 @@ class SMTCore:
             return
         if len(candidates) > 1:
             candidates.sort(key=lambda t: (t.icount, not t.protocol))
-        budget = self.pp.fetch_width
+        budget = self._fetch_width
         for t in candidates[: self.pp.fetch_threads_per_cycle]:
             if budget <= 0:
                 break
             budget = self._fetch_thread(t, budget)
 
     def _fetch_thread(self, t: ThreadContext, budget: int) -> int:
+        if self._fast and t.compiled_src and t.wrongpath_branch is None:
+            return self._fetch_thread_fast(t, budget)
         while budget > 0:
             if not self.decode_q.can_push(t.protocol):
                 break
@@ -421,6 +650,115 @@ class SMTCore:
             if taken_redirect:
                 break  # fetch run ends at a predicted-taken branch
         return budget
+
+    def _fetch_thread_fast(self, t: ThreadContext, budget: int) -> int:
+        """Superblock fetch for a compiled app source.
+
+        Consumes straight-line runs between the source's memoized
+        branch boundaries (``breaks``) directly off its buffer cursor,
+        probing the I-cache only on a line change and handing branches
+        to the shared predictor path.  Observationally identical to the
+        per-µop loop in :meth:`_fetch_thread`: same µops in the same
+        order, same stats, same stall/redirect points.  Only entered on
+        the correct path (wrong-path fill stays on the reference loop,
+        which never touches the source).
+        """
+        dq = self.decode_q
+        room = self._dq_room - len(dq.app) - len(dq.proto)
+        if room <= 0:
+            return budget
+        src = t.source
+        buf = src.k.buffer
+        i = src.pos
+        n = len(buf)
+        breaks = src.breaks
+        b_idx = bisect_left(breaks, i)
+        seq = self._seq
+        line = t.cur_fetch_line
+        dq_app = dq.app
+        hierarchy = self.hierarchy
+        limit = budget if budget < room else room
+        consumed = 0
+        stalled = False
+        while limit > 0:
+            if i >= n:
+                src.pos = i
+                if not src.peek_available():
+                    break
+                # The refill compacted the buffer: reload every local.
+                buf = src.k.buffer
+                i = src.pos
+                n = len(buf)
+                breaks = src.breaks
+                b_idx = bisect_left(breaks, i)
+            nb = breaks[b_idx] if b_idx < len(breaks) else n
+            if i < nb:
+                # Straight-line run: no branches until nb.
+                end = i + limit
+                if end > nb:
+                    end = nb
+                while i < end:
+                    uop = buf[i]
+                    pc_line = uop.pc >> 6
+                    if pc_line != line:
+                        # Line change is the rare case: build the fill
+                        # callback only when a probe actually happens.
+                        result = hierarchy.ifetch(
+                            uop.pc, False,
+                            on_complete=partial(self._ifill_done, t),
+                        )
+                        if result[0] != HIT:
+                            t.fetch_stalled = True
+                            self._worked = True  # the probe recorded stats
+                            stalled = True
+                            break
+                        line = pc_line
+                    seq += 1
+                    uop.seq = seq
+                    dq_app.append(uop)
+                    i += 1
+                    consumed += 1
+                    limit -= 1
+                if stalled:
+                    break
+                continue
+            # Fetch-run boundary: one branch µop through the shared
+            # predict path, then stop on a redirect exactly as the
+            # reference loop does.
+            uop = buf[i]
+            pc_line = uop.pc >> 6
+            if pc_line != line:
+                result = hierarchy.ifetch(
+                    uop.pc, False, on_complete=partial(self._ifill_done, t)
+                )
+                if result[0] != HIT:
+                    t.fetch_stalled = True
+                    self._worked = True
+                    stalled = True
+                    break
+                line = pc_line
+            seq += 1
+            uop.seq = seq
+            taken_redirect = self._predict(t, uop)
+            dq_app.append(uop)
+            i += 1
+            b_idx += 1
+            consumed += 1
+            limit -= 1
+            if uop.mispredicted:
+                t.wrongpath_branch = uop
+                t.wp_emitted = 0
+                t.wp_pc = uop.pc + 4
+                break
+            if taken_redirect:
+                break
+        src.pos = i
+        t.cur_fetch_line = line
+        if consumed:
+            self._seq = seq
+            t.icount += consumed
+            self._worked = True
+        return budget - consumed
 
     def _icache_ok(self, t: ThreadContext, uop: Uop) -> bool:
         line = uop.pc >> 6
@@ -513,6 +851,40 @@ class SMTCore:
         if moved:
             self._worked = True
 
+    def _decode_stage_fast(self) -> None:
+        """Bulk decode->rename move.
+
+        Equivalent to :meth:`_decode_stage`: the per-µop ``can_push``
+        test is monotone within one cycle (only this loop pushes), so
+        the admissible count per section is computable up front and the
+        µops move in one run.
+        """
+        dq = self.decode_q
+        first_proto = dq._proto_first
+        dq._proto_first = not first_proto
+        rq = self.rename_q
+        width = self._few
+        rq_occ = len(rq.proto) + len(rq.app)
+        moved = 0
+        sections = (True, False) if first_proto else (False, True)
+        for protocol in sections:
+            src = dq.proto if protocol else dq.app
+            if not src:
+                continue
+            cap = rq.capacity if protocol else rq.capacity - rq.reserved
+            take = min(len(src), width - moved, cap - rq_occ)
+            if take <= 0:
+                continue
+            dst = rq.proto if protocol else rq.app
+            pop = src.popleft
+            push = dst.append
+            for _ in range(take):
+                push(pop())
+            moved += take
+            rq_occ += take
+        if moved:
+            self._worked = True
+
     def _rename_stage(self) -> None:
         rq = self.rename_q
         first_proto = rq._proto_first
@@ -520,10 +892,11 @@ class SMTCore:
         if not rq.proto and not rq.app:
             return  # empty stage: only the priority parity advances
         renamed = 0
+        width = self._few
         sections = (True, False) if first_proto else (False, True)
         for protocol in sections:
             src = rq.proto if protocol else rq.app
-            while src and renamed < self.pp.front_end_width:
+            while src and renamed < width:
                 if not self._try_rename(src[0]):
                     break
                 src.popleft()
@@ -531,40 +904,221 @@ class SMTCore:
         if renamed:
             self._worked = True
 
+    def _rename_1t(self, rqa: Deque[Uop]) -> None:
+        """Rename-stage loop of :meth:`_step_1t`, specialized for
+        application µops: no protocol context (every pool bound is the
+        app-side ``total - reserved`` and acquires are plain ``app_used``
+        increments) and no commit-stage kinds (application sources never
+        emit them — SYNTH wrong-path fillers are plain ALU-class µops).
+        Check order and routing match :meth:`_try_rename` exactly.
+        """
+        t = self._t0
+        rn = self.rename
+        rob = t.rob
+        renamed = 0
+        width = self._few
+        al = self._active_list
+        imap = rn.int_map[t.tid]
+        fmap = rn.fp_map[t.tid]
+        int_ready = rn.int_ready
+        fp_ready = rn.fp_ready
+        waiters = rn._waiters
+        free_int = rn._free_int
+        free_fp = rn._free_fp
+        reserved_int = rn.reserved_int
+        while renamed < width:
+            uop = rqa[0]
+            if uop.is_fp:
+                pool = self.fq_pool
+                if pool.app_used >= self._fq_cap:
+                    self._rn_wait = 1
+                    break
+            else:
+                pool = self.iq_pool
+                if pool.app_used >= self._iq_cap:
+                    self._rn_wait = 1
+                    break
+            if len(rob) >= al:
+                self._rn_wait = 2
+                break
+            dest = uop.dest
+            if dest is not None:
+                if dest >= FP_BASE:
+                    if not free_fp:
+                        self._rn_wait = 2
+                        break
+                elif len(free_int) <= reserved_int:
+                    self._rn_wait = 2
+                    break
+            is_mem = uop.is_memory
+            if is_mem:
+                if self.lsq_pool.app_used >= self._lsq_cap:
+                    self._rn_wait = 2
+                    break
+            if uop.is_branch:
+                bp = self.bstack_pool
+                if bp.app_used >= self._bs_cap:
+                    self._rn_wait = 2
+                    break
+                bp.app_used += 1
+                uop.checkpoint = rn.checkpoint(t.tid, t.ras.snapshot())
+            if is_mem:
+                self.lsq_pool.app_used += 1
+                uop.in_lsq = True
+                if uop.kind is not UopKind.PREFETCH:
+                    uop.mem_seq = t.mem_seq_next
+                    t.mem_seq_next += 1
+            # rename.rename(uop), inlined for the app thread (no
+            # protocol register accounting); one call per renamed uop
+            # otherwise.
+            srcs = uop.srcs
+            if srcs:
+                n_wait = 0
+                psrcs: List[int] = []
+                for s in srcs:
+                    if s >= FP_BASE:
+                        r = fmap[s - FP_BASE]
+                        p = r + (1 << 20)
+                        ready = fp_ready[r]
+                    else:
+                        p = imap[s]
+                        ready = int_ready[p]
+                    psrcs.append(p)
+                    if not ready:
+                        n_wait += 1
+                        lst = waiters.get(p)
+                        if lst is None:
+                            waiters[p] = [uop]
+                        else:
+                            lst.append(uop)
+                uop.psrcs = tuple(psrcs)
+                uop.n_wait = n_wait
+            else:
+                uop.psrcs = ()
+            if dest is not None:
+                if dest >= FP_BASE:
+                    preg = free_fp.pop()
+                    fp_ready[preg] = False
+                    uop.pdest = preg + (1 << 20)
+                    uop.pdest_old = fmap[dest - FP_BASE] + (1 << 20)
+                    fmap[dest - FP_BASE] = preg
+                else:
+                    preg = free_int.pop()
+                    int_ready[preg] = False
+                    uop.pdest = preg
+                    uop.pdest_old = imap[dest]
+                    imap[dest] = preg
+            rob.append(uop)
+            pool.app_used += 1
+            pos = self._iq_pos + 1
+            self._iq_pos = pos
+            uop.iq_pos = pos
+            if is_mem:
+                if uop.kind is UopKind.PREFETCH:
+                    self._pf_fifo.append(uop)
+                else:
+                    self._t0_fifo.append(uop)
+                if not uop.n_wait:
+                    self._mem_ready += 1
+            elif not uop.n_wait:
+                heappush(
+                    self._fqr if uop.is_fp else self._iqr, (pos, uop)
+                )
+            rqa.popleft()
+            renamed += 1
+            if not rqa:
+                break
+        if renamed:
+            self._worked = True
+
     def _try_rename(self, uop: Uop) -> bool:
+        # Rename-stage resource gate.  Retried every cycle for a
+        # stalled queue head, so the failure checks are inlined pool
+        # arithmetic (can_rename/can_acquire bodies) rather than method
+        # calls — the semantics are identical.
         t = self.threads[uop.thread]
-        if len(t.rob) >= self.pp.active_list_per_thread:
-            return False
-        if not self.rename.can_rename(uop):
-            return False
         protocol = uop.protocol
-        needs_iq = not uop.commit_stage
-        pool = self.fq_pool if uop.is_fp else self.iq_pool
-        if needs_iq and not pool.can_acquire(protocol):
+        commit_stage = uop.commit_stage
+        # The issue-queue pool is by far the most frequent blocker, so
+        # it is tested first (the checks are independent and pure).
+        # Every failure latches _rn_wait: until some resource frees,
+        # retrying this same head is pointless (see __init__).
+        if not commit_stage:
+            pool = self.fq_pool if uop.is_fp else self.iq_pool
+            if pool.app_used + pool.proto_used >= (
+                pool.total if protocol else pool.total - pool.reserved
+            ):
+                self._rn_wait = 1
+                return False
+        if len(t.rob) >= self._active_list:
+            self._rn_wait = 2
             return False
+        rn = self.rename
+        dest = uop.dest
+        if dest is not None:
+            if dest >= FP_BASE:
+                if not rn._free_fp:
+                    self._rn_wait = 2
+                    return False
+            elif len(rn._free_int) <= (0 if protocol else rn.reserved_int):
+                self._rn_wait = 2
+                return False
         # SWITCH/LDCTXT are uncached loads: they hold LSQ slots until
         # they graduate (the paper's "switch stalls the head of the
         # load/store queue").
-        needs_lsq = uop.is_memory or uop.kind in (UopKind.SWITCH, UopKind.LDCTXT)
-        if needs_lsq and not self.lsq_pool.can_acquire(protocol):
-            return False
-        if uop.is_branch and not self.bstack_pool.can_acquire(protocol):
-            return False
+        needs_lsq = uop.is_memory or (
+            commit_stage and uop.kind is not UopKind.UNCACHED
+        )
+        if needs_lsq:
+            lp = self.lsq_pool
+            if lp.app_used + lp.proto_used >= (
+                lp.total if protocol else lp.total - lp.reserved
+            ):
+                self._rn_wait = 2
+                return False
+        if uop.is_branch:
+            bp = self.bstack_pool
+            if bp.app_used + bp.proto_used >= (
+                bp.total if protocol else bp.total - bp.reserved
+            ):
+                self._rn_wait = 2
+                return False
 
         if uop.is_branch:
             self.bstack_pool.acquire(protocol)
-            uop.checkpoint = self.rename.checkpoint(uop.thread, t.ras.snapshot())
+            uop.checkpoint = rn.checkpoint(uop.thread, t.ras.snapshot())
         if needs_lsq:
             self.lsq_pool.acquire(protocol)
             uop.in_lsq = True
             if uop.is_memory and uop.kind is not UopKind.PREFETCH:
                 uop.mem_seq = t.mem_seq_next
                 t.mem_seq_next += 1
-        self.rename.rename(uop)
+        rn.rename(uop)
         t.rob.append(uop)
-        if needs_iq:
+        if not commit_stage:
             pool.acquire(protocol)
-            (self.fq if uop.is_fp else self.iq).append(uop)
+            if self._fast:
+                # Compiled issue path: route by wait reason instead of
+                # appending to the flat scan list.  iq_pos freezes the
+                # reference scan order (= admission order) so the
+                # heaps/FIFOs replay it exactly.
+                self._iq_pos += 1
+                uop.iq_pos = self._iq_pos
+                if uop.is_memory:
+                    if uop.kind is UopKind.PREFETCH:
+                        self._pf_fifo.append(uop)
+                    else:
+                        self._mem_fifo[uop.thread].append(uop)
+                    if not uop.n_wait:
+                        self._mem_ready += 1
+                elif not uop.n_wait:
+                    heappush(
+                        self._fqr if uop.is_fp else self._iqr,
+                        (self._iq_pos, uop),
+                    )
+                # else: admitted by _uop_ready when n_wait hits 0.
+            else:
+                (self.fq if uop.is_fp else self.iq).append(uop)
         # Table 9 peaks are tracked by the pools / rename unit.
         return True
 
@@ -636,6 +1190,317 @@ class SMTCore:
                 else:
                     keep(uop)
             self.fq = kept
+
+    def _uop_ready(self, uop: Uop) -> None:
+        """Rename-unit hook: ``uop``'s last pending source completed.
+
+        Memory µops are issue-gated by their per-thread FIFO head scan
+        (and commit-stage µops never join the window), so only waiting
+        non-memory µops are admitted to the ready heaps here; memory
+        µops bump the ready count that gates the FIFO scan.  The count
+        is bumped even for a squashed µop so the lazy drop's
+        ``n_wait == 0`` decrement always balances.
+        """
+        if uop.is_memory:
+            self._mem_ready += 1
+            return
+        if uop.squashed or uop.commit_stage:
+            return
+        heappush(self._fqr if uop.is_fp else self._iqr, (uop.iq_pos, uop))
+
+    def _issue_fast(self) -> None:
+        """Compiled issue: process only actionable µops, in the exact
+        order the reference :meth:`_issue` scan would reach them.
+
+        Candidates and their order are fixed at entry: completions are
+        wheel-scheduled at least one cycle out and active-memory
+        requests are asynchronous, so nothing becomes ready mid-scan;
+        with one AGU a successful memory issue cannot enable a second
+        same-thread candidate within the cycle.  Memory candidates are
+        the per-thread FIFO heads (an older un-issued access always
+        blocks younger ones via ``mem_issue_next``) plus the oldest
+        prefetch; they interleave with the ready-heap µops by admission
+        order, mirroring the reference's single-list walk, and a
+        BLOCKED attempt leaves the head in place to retry — and mutate
+        hierarchy stats — every cycle, exactly like the kept-list scan.
+        """
+        cycle = self.cycle
+        threads = self.threads
+        # -- collect memory candidates --------------------------------
+        mem: List[Uop] = []
+        if self._mem_ready:
+            sb_fifo = self._sb_fifo
+            for tid, fifo in self._mem_fifo.items():
+                while fifo and fifo[0].squashed:
+                    if not fifo[0].n_wait:
+                        self._mem_ready -= 1
+                    fifo.popleft()
+                if not fifo:
+                    continue
+                head = fifo[0]
+                if head.n_wait:
+                    continue
+                t = threads[tid]
+                if head.mem_seq != t.mem_issue_next:
+                    continue
+                if head.kind is UopKind.ATOMIC and not (
+                    t.rob and t.rob[0] is head and not sb_fifo[tid]
+                ):
+                    continue
+                mem.append(head)
+            pf = self._pf_fifo
+            while pf and pf[0].squashed:
+                self._mem_ready -= 1  # prefetches are always ready
+                pf.popleft()
+            if pf:
+                mem.append(pf[0])
+            if len(mem) == 2:
+                if mem[0].iq_pos > mem[1].iq_pos:
+                    mem.reverse()
+            elif len(mem) > 2:
+                mem.sort(key=attrgetter("iq_pos"))
+        # -- integer + memory, merged in admission order ---------------
+        alu = 6
+        agu = 1
+        iqr = self._iqr
+        gated: List[Tuple[int, Uop]] = []
+        if not mem:
+            # Common case — no issuable memory head this cycle: a pure
+            # heap drain, no merge bookkeeping.
+            while alu > 0 and iqr:
+                pos, uop = heappop(iqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.DIV:
+                    if self.div_free_at > cycle:
+                        self._note_unit_wake(self.div_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.div_free_at = cycle + self.pp.int_div_latency
+                alu -= 1
+                self._worked = True
+                uop.issued = True
+                threads[uop.thread].icount -= 1
+                self.iq_pool.release(uop.protocol)
+                self._schedule_complete(uop, self._latency_of(uop))
+        else:
+            inf = 1 << 62
+            mi = 0
+            mn = len(mem)
+            while True:
+                hpos = iqr[0][0] if (alu > 0 and iqr) else inf
+                mpos = mem[mi].iq_pos if (agu > 0 and mi < mn) else inf
+                if hpos <= mpos:
+                    if hpos == inf:
+                        break
+                    pos, uop = heappop(iqr)
+                    if uop.squashed:
+                        continue
+                    if uop.kind is UopKind.DIV:
+                        if self.div_free_at > cycle:
+                            # Unit busy: park outside the heap so the
+                            # scan moves past it, re-admit after.
+                            self._note_unit_wake(self.div_free_at)
+                            gated.append((pos, uop))
+                            continue
+                        self.div_free_at = cycle + self.pp.int_div_latency
+                    alu -= 1
+                    self._worked = True
+                    uop.issued = True
+                    threads[uop.thread].icount -= 1
+                    self.iq_pool.release(uop.protocol)
+                    self._schedule_complete(uop, self._latency_of(uop))
+                else:
+                    uop = mem[mi]
+                    mi += 1
+                    # Even a BLOCKED attempt records hierarchy stats, so
+                    # an issuable memory µop keeps the core awake.
+                    self._worked = True
+                    if self._issue_mem(uop):
+                        agu -= 1
+                        uop.issued = True
+                        threads[uop.thread].icount -= 1
+                        self.iq_pool.release(uop.protocol)
+                        if uop.kind is UopKind.PREFETCH:
+                            self._pf_fifo.popleft()
+                        else:
+                            self._mem_fifo[uop.thread].popleft()
+                        self._mem_ready -= 1  # an issued head was ready
+        for entry in gated:
+            heappush(iqr, entry)
+        # -- floating point -------------------------------------------
+        fpu = 3
+        fqr = self._fqr
+        if fqr:
+            del gated[:]
+            while fpu > 0 and fqr:
+                pos, uop = heappop(fqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.FDIV:
+                    if self.fdiv_free_at > cycle:
+                        self._note_unit_wake(self.fdiv_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.fdiv_free_at = cycle + self.pp.fp_div_dp_latency
+                fpu -= 1
+                self._worked = True
+                uop.issued = True
+                threads[uop.thread].icount -= 1
+                self.fq_pool.release(uop.protocol)
+                self._schedule_complete(uop, self._latency_of(uop))
+            for entry in gated:
+                heappush(fqr, entry)
+
+    def _issue_1t(self) -> None:
+        """:meth:`_issue_fast`, specialized for the fused one-app-thread
+        core (:meth:`_step_1t`).
+
+        The only possible memory candidates are this thread's FIFO head
+        and the oldest prefetch, so the per-thread collection walk is
+        gone.  Application memory µops are never squashed — wrong-path
+        fetch emits SYNTH fillers only, and SYNTH is not a memory kind —
+        so the FIFO lazy squash-drops vanish too; SYNTH µops do reach
+        the integer heap, so its squash test stays.  Pool releases are
+        inlined for the app side (``release(False)`` is a plain
+        ``app_used`` decrement).
+        """
+        cycle = self.cycle
+        t = self._t0
+        wheel = self.wheel
+        wheel_heap = wheel._heap
+        now = wheel.now
+        mem: List[Uop] = []
+        fifo = self._t0_fifo
+        if fifo:
+            head = fifo[0]
+            if (
+                not head.n_wait
+                and head.mem_seq == t.mem_issue_next
+                and (
+                    head.kind is not UopKind.ATOMIC
+                    or (t.rob and t.rob[0] is head and not self._t0_sb)
+                )
+            ):
+                mem.append(head)
+        pf = self._pf_fifo
+        if pf:
+            mem.append(pf[0])
+            if len(mem) == 2 and mem[0].iq_pos > mem[1].iq_pos:
+                mem.reverse()
+        alu = 6
+        iqr = self._iqr
+        gated = self._gated  # persistent scratch; always left empty
+        if not mem:
+            while alu > 0 and iqr:
+                pos, uop = heappop(iqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.DIV:
+                    if self.div_free_at > cycle:
+                        self._note_unit_wake(self.div_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.div_free_at = cycle + self.pp.int_div_latency
+                alu -= 1
+                self._worked = True
+                uop.issued = True
+                t.icount -= 1
+                self.iq_pool.app_used -= 1
+                self._rn_wait = 0
+                # _schedule_complete, inlined (once per issued µop).
+                lat = _LAT1[uop.kind] if uop.latency == 1 else self._latency_of(uop)
+                wheel._seq += 1
+                heappush(
+                    wheel_heap,
+                    (now + lat, wheel._seq, partial(self._complete, uop, False)),
+                )
+        else:
+            inf = 1 << 62
+            agu = 1
+            mi = 0
+            mn = len(mem)
+            while True:
+                hpos = iqr[0][0] if (alu > 0 and iqr) else inf
+                mpos = mem[mi].iq_pos if (agu > 0 and mi < mn) else inf
+                if hpos <= mpos:
+                    if hpos == inf:
+                        break
+                    pos, uop = heappop(iqr)
+                    if uop.squashed:
+                        continue
+                    if uop.kind is UopKind.DIV:
+                        if self.div_free_at > cycle:
+                            self._note_unit_wake(self.div_free_at)
+                            gated.append((pos, uop))
+                            continue
+                        self.div_free_at = cycle + self.pp.int_div_latency
+                    alu -= 1
+                    self._worked = True
+                    uop.issued = True
+                    t.icount -= 1
+                    self.iq_pool.app_used -= 1
+                    self._rn_wait = 0
+                    lat = (_LAT1[uop.kind] if uop.latency == 1
+                           else self._latency_of(uop))
+                    wheel._seq += 1
+                    heappush(
+                        wheel_heap,
+                        (now + lat, wheel._seq,
+                         partial(self._complete, uop, False)),
+                    )
+                else:
+                    uop = mem[mi]
+                    mi += 1
+                    # Even a BLOCKED attempt records hierarchy stats, so
+                    # an issuable memory µop keeps the core awake.
+                    self._worked = True
+                    if self._issue_mem(uop):
+                        agu -= 1
+                        uop.issued = True
+                        t.icount -= 1
+                        self.iq_pool.app_used -= 1
+                        self._rn_wait = 0
+                        if uop.kind is UopKind.PREFETCH:
+                            pf.popleft()
+                        else:
+                            fifo.popleft()
+                        self._mem_ready -= 1  # an issued head was ready
+        if gated:
+            for entry in gated:
+                heappush(iqr, entry)
+            del gated[:]
+        fqr = self._fqr
+        if fqr:
+            fpu = 3
+            while fpu > 0 and fqr:
+                pos, uop = heappop(fqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.FDIV:
+                    if self.fdiv_free_at > cycle:
+                        self._note_unit_wake(self.fdiv_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.fdiv_free_at = cycle + self.pp.fp_div_dp_latency
+                fpu -= 1
+                self._worked = True
+                uop.issued = True
+                t.icount -= 1
+                self.fq_pool.app_used -= 1
+                self._rn_wait = 0
+                lat = (_LAT1[uop.kind] if uop.latency == 1
+                       else self._latency_of(uop))
+                wheel._seq += 1
+                heappush(
+                    wheel_heap,
+                    (now + lat, wheel._seq,
+                     partial(self._complete, uop, False)),
+                )
+            if gated:
+                for entry in gated:
+                    heappush(fqr, entry)
+                del gated[:]
 
     def _latency_of(self, uop: Uop) -> int:
         base = _EXEC_LATENCY.get(uop.kind, uop.latency)
@@ -717,18 +1582,47 @@ class SMTCore:
         self._complete(uop, carry_value=True)
 
     def _schedule_complete(self, uop: Uop, latency: int, carry_value: bool = False) -> None:
-        self.wheel.schedule(
-            max(1, latency), partial(self._complete, uop, carry_value)
+        # wheel.schedule(max(1, latency), ...), with the wrapper calls
+        # flattened — this runs once per issued µop.
+        wheel = self.wheel
+        wheel._seq += 1
+        heappush(
+            wheel._heap,
+            (
+                wheel.now + (latency if latency > 1 else 1),
+                wheel._seq,
+                partial(self._complete, uop, carry_value),
+            ),
         )
 
     def _complete(self, uop: Uop, carry_value: bool = False) -> None:
-        self.wake()
+        self._wake_flag = True
         if uop.squashed or uop.completed:
             return
         uop.completed = True
         uop.complete_cycle = self.wheel.now
-        if uop.pdest != -1:
-            self.rename.mark_ready(uop.pdest)
+        preg = uop.pdest
+        if preg != -1:
+            # rename.mark_ready, inlined (once per completed µop).
+            rn = self.rename
+            if preg >= 1 << 20:
+                rn.fp_ready[preg - (1 << 20)] = True
+            else:
+                rn.int_ready[preg] = True
+            lst = rn._waiters.pop(preg, None)
+            if lst is not None:
+                cb = rn.on_ready
+                if cb is None:
+                    for u in lst:
+                        u.n_wait -= 1
+                else:
+                    for u in lst:
+                        n = u.n_wait - 1
+                        u.n_wait = n
+                        # Fire only on the decrement that completes the
+                        # last dependence (repeated sources appear twice).
+                        if n == 0:
+                            cb(u)
         if uop.is_branch:
             self._resolve_branch(uop)
         if carry_value and uop.on_value is not None:
@@ -743,6 +1637,9 @@ class SMTCore:
             self.predictor.update(uop.thread, uop.pc, uop.taken)
         if not uop.mispredicted:
             return
+        # The front-end flush below can remove the stalled rename-queue
+        # head itself (a new head may rename without anything freeing).
+        self._rn_wait = 0
         t = self.threads[uop.thread]
         squashed_any = False
         while t.rob and t.rob[-1] is not uop:
@@ -771,6 +1668,7 @@ class SMTCore:
             self.node.stats.protocol.squash_cycles += 1
 
     def _squash(self, victim: Uop) -> None:
+        self._rn_wait = 0  # the victim's resources come back
         victim.squashed = True
         t = self.threads[victim.thread]
         t.stats.squashed += 1
@@ -803,28 +1701,49 @@ class SMTCore:
         # scan would (nothing).
         threads = self.threads
         retirable = self._retirable
+        sb = self.sb_pool
         any_ready = False
         for t in threads:
-            if t.rob:
-                head = t.rob[0]
-                if retirable(head):
+            rob = t.rob
+            if rob:
+                head = rob[0]
+                # _retirable, inlined for the dominant cases: completed
+                # non-store (and completed store with SB room) retires;
+                # commit-stage µops take the slow predicate.
+                if head.completed:
+                    if head.kind is not UopKind.STORE or (
+                        sb.app_used + sb.proto_used
+                        < (sb.total if head.protocol else sb.total - sb.reserved)
+                    ):
+                        any_ready = True
+                        continue
+                elif head.commit_stage and retirable(head):
                     any_ready = True
-                elif head.is_memory:
+                    continue
+                if head.is_memory:
                     t.stats.memory_stall_cycles += 1
                 else:
                     t.stats.other_stall_cycles += 1
         n = len(threads)
         committed_any = False
         if any_ready:
-            budget = self.pp.commit_width
+            budget = self._commit_width
+            rr = self._rr
             for i in range(n):
-                t = threads[(self._rr + i) % n]
-                while budget > 0 and t.rob:
-                    head = t.rob[0]
-                    if not retirable(head):
+                t = threads[(rr + i) % n]
+                rob = t.rob
+                while budget > 0 and rob:
+                    head = rob[0]
+                    if head.completed:
+                        if head.kind is UopKind.STORE and (
+                            sb.app_used + sb.proto_used
+                            >= (sb.total if head.protocol else sb.total - sb.reserved)
+                        ):
+                            break
+                    elif not (head.commit_stage and retirable(head)):
                         break
                     self._retire(t, head)
-                    t.rob.popleft()
+                    rob.popleft()
                     budget -= 1
                     committed_any = True
                 if budget <= 0:
@@ -834,13 +1753,12 @@ class SMTCore:
             self._worked = True
             if self.machine is not None:
                 self.machine.note_progress()
-        for t in threads:
-            if not t.protocol and not t.done:
-                if t.source.done and not t.rob and t.icount == 0:
-                    t.done = True
-                    t.stats.finish_cycle = self.cycle
-                    t.stats.done = True
-                    self._worked = True
+        for t in self._app_threads:
+            if not t.done and not t.rob and t.icount == 0 and t.source.done:
+                t.done = True
+                t.stats.finish_cycle = self.cycle
+                t.stats.done = True
+                self._worked = True
 
     def _retirable(self, uop: Uop) -> bool:
         if uop.commit_stage:
@@ -854,6 +1772,9 @@ class SMTCore:
         return uop.completed
 
     def _retire(self, t: ThreadContext, uop: Uop) -> None:
+        # Retirement frees window/register/LSQ/branch-stack resources,
+        # but no issue-queue slot: code 1 stays latched.
+        self._rn_wait &= 1
         if uop.commit_stage:
             t.icount -= 1  # commit-stage µops never joined the IQ
             if uop.kind is UopKind.UNCACHED:

@@ -11,7 +11,7 @@ progress (paper §2.2).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.params import ProcessorParams
 from repro.isa.uop import FP_BASE, Uop
@@ -60,6 +60,11 @@ class RenameUnit:
         # squashed implies the (same-thread, younger) waiter was
         # squashed with it — so draining them is harmless.
         self._waiters: dict = {}
+        #: Wakeup-admission hook (compiled issue path): called with a
+        #: µop exactly when its last pending source becomes ready
+        #: (``n_wait`` hits 0).  None in interpreter mode — the
+        #: reference issue stage re-tests ``n_wait`` by scanning.
+        self.on_ready: Optional[Callable[[Uop], None]] = None
 
     # ------------------------------------------------------------------
     def free_int_count(self) -> int:
@@ -77,19 +82,24 @@ class RenameUnit:
         """Map sources and allocate the destination (must fit)."""
         t = uop.thread
         imap, fmap = self.int_map[t], self.fp_map[t]
-        uop.psrcs = psrcs = tuple(
-            fmap[s - FP_BASE] + (1 << 20) if s >= FP_BASE else imap[s]
-            for s in uop.srcs
-        )
-        if psrcs:
+        srcs = uop.srcs
+        if srcs:
+            # One pass: map each source, test readiness, and register
+            # the waiter — equivalent to mapping first and re-scanning.
             int_ready = self.int_ready
             fp_ready = self.fp_ready
             waiters = self._waiters
             n_wait = 0
-            for p in psrcs:
-                ready = (
-                    fp_ready[p - (1 << 20)] if p >= (1 << 20) else int_ready[p]
-                )
+            psrcs: List[int] = []
+            for s in srcs:
+                if s >= FP_BASE:
+                    r = fmap[s - FP_BASE]
+                    p = r + (1 << 20)
+                    ready = fp_ready[r]
+                else:
+                    p = imap[s]
+                    ready = int_ready[p]
+                psrcs.append(p)
                 if not ready:
                     n_wait += 1
                     lst = waiters.get(p)
@@ -97,7 +107,10 @@ class RenameUnit:
                         waiters[p] = [uop]
                     else:
                         lst.append(uop)
+            uop.psrcs = tuple(psrcs)
             uop.n_wait = n_wait
+        else:
+            uop.psrcs = ()
         if uop.dest is None:
             return
         if uop.dest >= FP_BASE:
@@ -142,9 +155,21 @@ class RenameUnit:
         else:
             self.int_ready[preg] = True
         lst = self._waiters.pop(preg, None)
-        if lst is not None:
+        if lst is None:
+            return
+        cb = self.on_ready
+        if cb is None:
             for u in lst:
                 u.n_wait -= 1
+        else:
+            for u in lst:
+                n = u.n_wait - 1
+                u.n_wait = n
+                # A µop waiting on the same register twice (repeated
+                # source) appears twice in the list; fire only on the
+                # decrement that completes the last dependence.
+                if n == 0:
+                    cb(u)
 
     # -- free-list management -----------------------------------------------
     def _release(self, preg: int, protocol: bool) -> None:

@@ -57,6 +57,7 @@ import types
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.apps import compile as acompile
 from repro.common.errors import SimulationError
 from repro.common.stats import MachineStats
 from repro.core.machine import Machine
@@ -64,7 +65,7 @@ from repro.network import messages
 from repro.protocol import compile as pcompile
 
 #: Bump when the checkpoint payload layout changes.
-CKPT_VERSION = 1
+CKPT_VERSION = 2
 
 #: Escape hatch: disable checkpointing (workers run jobs straight).
 NO_CKPT_ENV = "REPRO_NO_CKPT"
@@ -200,6 +201,14 @@ def snapshot(machine: Machine) -> bytes:
     payload = {
         "version": CKPT_VERSION,
         "compiler_version": pcompile.COMPILER_VERSION,
+        # None when the interpreter escape hatch was active: compiled
+        # and interpreted machines carry different source classes and
+        # core structures, so a checkpoint only restores into the same
+        # app-execution mode (and app-compiler revision).
+        "app_compiler_version": (
+            None if acompile.app_interp_forced()
+            else acompile.APP_COMPILER_VERSION
+        ),
         "msg_next_id": messages._msg_ids.next_id,
         "machine": machine,
     }
@@ -234,6 +243,16 @@ def restore(data: bytes) -> Machine:
             "checkpoint was written by handler-compiler version "
             f"{payload['compiler_version']}, this build is "
             f"{pcompile.COMPILER_VERSION}; re-run the job from scratch"
+        )
+    app_cv = (
+        None if acompile.app_interp_forced()
+        else acompile.APP_COMPILER_VERSION
+    )
+    if payload["app_compiler_version"] != app_cv:
+        raise CheckpointError(
+            "checkpoint was written in app-execution mode "
+            f"{payload.get('app_compiler_version')!r} (None = interpreted), "
+            f"this session is {app_cv!r}; re-run the job from scratch"
         )
     machine: Machine = payload["machine"]
     spec: CheckpointSpec = machine.ckpt_spec

@@ -140,6 +140,7 @@ class SweepCell:
     # -- cache identity ------------------------------------------------
 
     def _key_payload(self) -> Dict[str, object]:
+        from repro.apps.compile import APP_COMPILER_VERSION, app_interp_forced
         from repro.core.models import make_machine_params
         from repro.protocol.compile import COMPILER_VERSION, interp_forced
         from repro.sim.experiments import preset_sizes
@@ -168,6 +169,8 @@ class SweepCell:
             "dense_step": os.environ.get("REPRO_DENSE_STEP", "") == "1",
             "interp": interp_forced(),
             "compiler": COMPILER_VERSION,
+            "app_interp": app_interp_forced(),
+            "app_compiler": APP_COMPILER_VERSION,
         }
 
     def cache_key(self) -> str:
@@ -648,6 +651,11 @@ def _grid_smoke() -> List[SweepCell]:
     cells = make_grid(("water", "fft"), ("base", "smtp"), preset="tiny")
     cells += make_grid(("water", "fft"), ("base",), nodes=(2,), preset="tiny")
     cells += make_grid(("fft",), ("base",), nodes=(16,), preset="tiny")
+    # Single-node bench-preset cell: long enough (~50k cycles) for
+    # stable timing, app-dominated — the regime the superblock-compiled
+    # fetch/issue/commit fast path accelerates.  Gated against the
+    # ``pre_app_compile`` floor in ``BENCH_smoke.json``.
+    cells += make_grid(("ocean",), ("base",), preset="bench")
     return cells
 
 
@@ -816,31 +824,46 @@ def gate_results(
             f"{ref:.3f}s baseline, {ratio:.2f}x, limit {limit:.2f}x"
             f"{speedup})"
         )
-    pre_failures, pre_lines = _gate_pre_compile(
-        results, baseline_doc, reference_s=reference_s
-    )
-    failures += pre_failures
-    lines += pre_lines
+    for block_key, block_desc in PRE_BUILD_BLOCKS:
+        pre_failures, pre_lines = _gate_pre_build(
+            results, baseline_doc, block_key, block_desc,
+            reference_s=reference_s,
+        )
+        failures += pre_failures
+        lines += pre_lines
     return failures, lines
 
 
-def _gate_pre_compile(
+#: Frozen reference-build blocks a BENCH doc may carry, each gated
+#: independently: the pre-handler-compilation interpreter build and the
+#: pre-app-compilation build (before the superblock-compiled app
+#: programs and the fused fetch/issue/commit fast path).
+PRE_BUILD_BLOCKS: Tuple[Tuple[str, str], ...] = (
+    ("pre_compile", "pre-compile build"),
+    ("pre_app_compile", "pre-app-compile build"),
+)
+
+
+def _gate_pre_build(
     results: Sequence[CellResult],
     baseline_doc: Dict[str, object],
+    block_key: str,
+    block_desc: str,
     reference_s: Optional[float] = None,
 ) -> Tuple[int, List[str]]:
-    """Speedup-floor check against recorded pre-compilation timings.
+    """Speedup-floor check against one recorded reference build.
 
-    The ``pre_compile`` block of a BENCH doc freezes the interpreter
-    build's per-cell CPU times (and the box calibration they were
-    measured under).  Each fresh cell matching a recorded row gets a
-    box-normalized cycles/sec speedup line; rows carrying
-    ``min_speedup`` turn that line into a hard floor.  Normalization
-    mirrors the slowdown gate's bias: a slower box *excuses* a low raw
-    speedup, but a faster box never inflates one past its raw value,
-    so the floor cannot pass on calibration noise alone.
+    The ``pre_compile``/``pre_app_compile`` blocks of a BENCH doc
+    freeze a reference build's per-cell CPU times (and the box
+    calibration they were measured under).  Each fresh cell matching a
+    recorded row gets a box-normalized cycles/sec speedup line; rows
+    carrying ``min_speedup`` turn that line into a hard floor.
+    Normalization mirrors the slowdown gate's bias: a slower box
+    *excuses* a low raw speedup, but a faster box never inflates one
+    past its raw value, so the floor cannot pass on calibration noise
+    alone.
     """
-    block = baseline_doc.get("pre_compile")
+    block = baseline_doc.get(block_key)
     if not isinstance(block, dict):
         return 0, []
     pre: Dict[Tuple, Dict[str, object]] = {
@@ -875,7 +898,7 @@ def _gate_pre_compile(
         floor_txt = f", floor {floor:.2f}x" if floor > 0 else ""
         lines.append(
             f"gate: {r.cell.label}: {verdict} {speedup:.2f}x cyc/s vs "
-            f"pre-compile build ({block.get('commit', '?')}){floor_txt}"
+            f"{block_desc} ({block.get('commit', '?')}){floor_txt}"
         )
     return failures, lines
 
@@ -893,6 +916,7 @@ def write_bench_json(
     wall_clock_s: float,
     reference_s: Optional[float] = None,
     pre_compile: Optional[Dict[str, object]] = None,
+    pre_app_compile: Optional[Dict[str, object]] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` summarizing a finished sweep.
 
@@ -902,10 +926,10 @@ def write_bench_json(
     ``reference_s`` the gate normalizes by — so successive commits'
     files can be diffed or plotted directly.
 
-    ``pre_compile`` is the frozen interpreter-build reference block
-    (see :func:`_gate_pre_compile`); the sweep CLI carries it over
-    from the gate baseline on every refresh so the speedup floor
-    survives file rewrites.
+    ``pre_compile`` and ``pre_app_compile`` are the frozen
+    reference-build blocks (see :func:`_gate_pre_build`); the sweep
+    CLI carries them over from the gate baseline on every refresh so
+    the speedup floors survive file rewrites.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -927,6 +951,8 @@ def write_bench_json(
     }
     if pre_compile is not None:
         doc["pre_compile"] = pre_compile
+    if pre_app_compile is not None:
+        doc["pre_app_compile"] = pre_app_compile
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
     os.replace(tmp, path)

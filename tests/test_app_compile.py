@@ -1,0 +1,282 @@
+"""Property tests for the application-tier superblock compiler.
+
+Two contracts, held over random kernel shapes with hypothesis:
+
+* **Register-window discipline.**  :class:`KernelBuilder` rotates
+  integer results through logical r8..r23 and FP results through
+  f8..f23; r0..r7 (and f0..f7) are the kernel's pinned registers.  No
+  sequence of emissions may ever allocate a destination outside the
+  window — the inlined constructor bodies must rotate exactly like the
+  ``_int_dest``/``_fp_dest`` reference helpers.
+
+* **Yield-form round-trip.**  All three coroutine yield forms (plain
+  ``yield`` flush points, ``value = yield AWAIT``, ``yield ('sleep',
+  n)``) must drive :class:`CompiledProgram` to emit the *identical*
+  µop stream the interpreted :class:`ThreadProgram` emits — same
+  kinds, registers, PCs, addresses, values, branch targets — and the
+  compiled side's memoized superblock boundaries must point exactly at
+  the branch µops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.compile import (
+    CompiledKernelBuilder,
+    CompiledProgram,
+    shared_templates,
+)
+from repro.apps.program import AWAIT, KernelBuilder, ThreadProgram
+from repro.isa.uop import FP_BASE, Uop
+
+PINNED_INT = set(range(0, 8))
+PINNED_FP = set(range(FP_BASE, FP_BASE + 8))
+
+#: Op mnemonics a random kernel shape is drawn from.
+OPS = ("alu", "mul", "falu", "fdiv", "load", "fload", "store", "branch",
+       "prefetch", "call_ret")
+
+
+def _emit(k: KernelBuilder, op: str, pool: List[int]) -> None:
+    """Emit one µop of kind ``op``, drawing dependences from ``pool``."""
+    deps = tuple(pool[-2:])
+    if op == "alu":
+        pool.append(k.alu(*deps))
+    elif op == "mul":
+        pool.append(k.mul(*deps))
+    elif op == "falu":
+        pool.append(k.falu())
+    elif op == "fdiv":
+        pool.append(k.fdiv())
+    elif op == "load":
+        pool.append(k.load(0x4000 + 8 * len(pool), *deps))
+    elif op == "fload":
+        pool.append(k.load(0x8000 + 8 * len(pool), fp=True))
+    elif op == "store":
+        k.store(0x4000 + 8 * len(pool), *deps, value=len(pool))
+    elif op == "branch":
+        k.branch(len(pool) % 2 == 0, k.here() - 16, *deps)
+    elif op == "prefetch":
+        k.prefetch(0xC000 + 64 * len(pool), exclusive=len(pool) % 2 == 0)
+    elif op == "call_ret":
+        k.ret(k.call(0x100 + 4 * len(pool)))
+
+
+# ----------------------------------------------------------------------
+# Window rotation
+# ----------------------------------------------------------------------
+
+def test_window_constants():
+    assert KernelBuilder._WINDOW_LEN == 16
+    assert len(KernelBuilder.INT_WINDOW) == 16
+    assert len(KernelBuilder.FP_WINDOW) == 16
+    assert KernelBuilder.INT_WINDOW == tuple(range(8, 24))
+    assert KernelBuilder.FP_WINDOW == tuple(range(FP_BASE + 8, FP_BASE + 24))
+    assert not PINNED_INT & set(KernelBuilder.INT_WINDOW)
+    assert not PINNED_FP & set(KernelBuilder.FP_WINDOW)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=120),
+    compiled=st.booleans(),
+)
+def test_rotation_never_clobbers_pinned_registers(ops, compiled):
+    """Random kernel shapes: every allocated destination stays inside
+    the rotating window, in reference rotation order, and r0..r7 /
+    f0..f7 are never written."""
+    if compiled:
+        k: KernelBuilder = CompiledKernelBuilder(
+            thread=0, pc_base=0x1000, templates={})
+    else:
+        k = KernelBuilder(thread=0, pc_base=0x1000)
+    pool: List[int] = [3]  # a pinned source register in the dep pool
+    _emit(k, "falu", pool)  # seed an FP value too
+    n_int = n_fp = 0
+    if pool[-1] >= FP_BASE:
+        n_fp = 1
+    for op in ops:
+        _emit(k, op, pool)
+    int_dests = []
+    fp_dests = []
+    for uop in k.buffer:
+        if uop.dest is None:
+            continue
+        assert uop.dest not in PINNED_INT, f"{uop.kind} wrote pinned {uop.dest}"
+        assert uop.dest not in PINNED_FP, f"{uop.kind} wrote pinned {uop.dest}"
+        if uop.dest >= FP_BASE:
+            assert uop.dest in KernelBuilder.FP_WINDOW
+            fp_dests.append(uop.dest)
+        else:
+            assert uop.dest in KernelBuilder.INT_WINDOW
+            int_dests.append(uop.dest)
+    # Reference rotation: the windows are cycled in order, wrapping.
+    assert int_dests == [
+        KernelBuilder.INT_WINDOW[i % 16] for i in range(len(int_dests))]
+    assert fp_dests == [
+        KernelBuilder.FP_WINDOW[i % 16] for i in range(len(fp_dests))]
+    assert k._int_rot == len(int_dests) % 16
+    assert k._fp_rot == len(fp_dests) % 16
+
+
+# ----------------------------------------------------------------------
+# Yield-form round-trip through compilation
+# ----------------------------------------------------------------------
+
+#: One kernel segment: ops to emit, then one of the three yield forms.
+SEGMENT = st.tuples(
+    st.lists(st.sampled_from(OPS), min_size=0, max_size=12),
+    st.sampled_from(("flush", "await_spin", "await_atomic", "sleep")),
+)
+
+
+def _make_kernel(segments):
+    def body(k: KernelBuilder) -> Iterator:
+        pool: List[int] = [2]
+        for i, (ops, form) in enumerate(segments):
+            for op in ops:
+                _emit(k, op, pool)
+            if form == "flush":
+                yield
+            elif form == "await_spin":
+                k.spin_load(0x2000 + 128 * i)
+                v = yield AWAIT
+                k.store(0x2000 + 128 * i, value=v + 1)
+            elif form == "await_atomic":
+                k.atomic(0x3000 + 128 * i, "fai")
+                v = yield AWAIT
+                pool.append(k.alu())
+                k.store(0x3000 + 128 * i, value=v)
+            else:  # ('sleep', n)
+                yield ("sleep", 1 + i % 7)
+    return body
+
+
+class _FakeWheel:
+    """Collects sleep callbacks so the drain loop can fire them."""
+
+    def __init__(self) -> None:
+        self.pending: List = []
+
+    def schedule(self, delay: int, cb) -> None:
+        assert delay >= 1
+        self.pending.append(cb)
+
+
+def _fields(uop: Uop) -> Tuple:
+    return (uop.kind, uop.srcs, uop.dest, uop.pc, uop.addr, uop.value,
+            uop.taken, uop.target_pc, uop.atomic_op, uop.operand,
+            uop.exclusive, uop.protocol)
+
+
+def _drain(prog: ThreadProgram, wheel: _FakeWheel, values) -> List[Tuple]:
+    """Pull the full µop stream, answering AWAITs from ``values`` and
+    expiring sleeps as they park the program."""
+    stream: List[Tuple] = []
+    vals = iter(values)
+    stall = 0
+    while not prog.done:
+        uop = prog.next_uop()
+        if uop is not None:
+            stall = 0
+            stream.append(_fields(uop))
+            if uop.on_value is not None:
+                uop.on_value(next(vals))
+            continue
+        if wheel.pending:
+            wheel.pending.pop(0)()
+            continue
+        stall += 1
+        assert stall < 4, "program stalled with no wake source"
+    return stream
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    segments=st.lists(SEGMENT, min_size=1, max_size=8),
+    values=st.lists(st.integers(min_value=0, max_value=2**20),
+                    min_size=64, max_size=64),
+)
+def test_yield_forms_round_trip_through_compilation(segments, values):
+    body = _make_kernel(segments)
+
+    iw = _FakeWheel()
+    interp = ThreadProgram(body, KernelBuilder(thread=0, pc_base=0x1000),
+                           wheel=iw)
+    interp_stream = _drain(interp, iw, values)
+
+    cw = _FakeWheel()
+    compiled = CompiledProgram(
+        body,
+        CompiledKernelBuilder(thread=0, pc_base=0x1000, templates={}),
+        wheel=cw,
+    )
+    compiled_stream = _drain(compiled, cw, values)
+
+    assert compiled_stream == interp_stream
+    # Anything with an AWAIT emits at least the spin/atomic µop.
+    if any(form.startswith("await") for _, form in segments):
+        assert interp_stream
+
+
+@settings(max_examples=30, deadline=None)
+@given(segments=st.lists(SEGMENT, min_size=1, max_size=6))
+def test_superblock_boundaries_point_at_branches(segments):
+    """After every refill, ``breaks`` holds exactly the buffer
+    positions of branch µops — the memo the fused fetch consumes."""
+    body = _make_kernel(segments)
+    prog = CompiledProgram(
+        body, CompiledKernelBuilder(thread=0, pc_base=0x1000, templates={}),
+        wheel=_FakeWheel(),
+    )
+    seen = 0
+    while True:
+        if not prog.peek_available():  # refills (and memoizes) if it can
+            if prog._sleeping:
+                prog._wake()
+                continue
+            break
+        buf = prog.k.buffer
+        expect = [i for i in range(len(buf)) if buf[i].is_branch]
+        assert prog.breaks == expect
+        # Consume up to the next boundary, as the fast fetch does.
+        run_end = next((b for b in prog.breaks if b >= prog.pos), len(buf) - 1)
+        while prog.pos <= run_end:
+            uop = prog.next_uop()
+            assert uop is not None
+            seen += 1
+            if uop.on_value is not None:
+                uop.on_value(7)
+        if prog._sleeping:
+            prog._wake()
+    assert prog.done
+
+
+def test_shared_templates_survive_rebuilds():
+    """Two builders at the same (kernel, placement) stamp from one
+    decoded-µop cache; different placements get different caches."""
+    store_a = shared_templates(("m:body", 0, 0x1000))
+    store_b = shared_templates(("m:body", 0, 0x1000))
+    assert store_a is store_b
+    assert shared_templates(("m:body", 1, 0x1000)) is not store_a
+
+    k1 = CompiledKernelBuilder(thread=0, pc_base=0x1000, templates=store_a)
+    pool = [1]
+    for op in ("alu", "falu", "load", "store", "branch"):
+        _emit(k1, op, pool)
+    n = len(store_a)
+    assert n > 0
+    first = [_fields(u) for u in k1.buffer]
+
+    # A rebuilt builder (same placement) re-emits identical µops while
+    # adding no new templates — the decode work is reused.
+    k2 = CompiledKernelBuilder(thread=0, pc_base=0x1000, templates=store_a)
+    pool = [1]
+    for op in ("alu", "falu", "load", "store", "branch"):
+        _emit(k2, op, pool)
+    assert [_fields(u) for u in k2.buffer] == first
+    assert len(store_a) == n

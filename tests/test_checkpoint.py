@@ -313,3 +313,81 @@ def test_campaign_ledger_resumes_without_refuzzing(tmp_path, monkeypatch):
     second = fc.run_campaign(cells, jobs=0, out_dir=tmp_path / "art",
                              shrink=False, ledger=ledger)
     assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+
+
+# ----------------------------------------------------------------------
+# App-tier compilation: suspend mid-superblock, both feed modes.
+# ----------------------------------------------------------------------
+
+
+def _compiled_programs(machine):
+    from repro.apps.compile import CompiledProgram
+
+    return [
+        t.source
+        for core in machine._cores
+        for t in core.threads
+        if isinstance(t.source, CompiledProgram)
+    ]
+
+
+def _pause_mid_superblock(machine, limit: int = 20_000) -> None:
+    """Step until some compiled program's fetch cursor sits strictly
+    inside a decoded superblock (consumed a prefix, more µops pending)."""
+    while machine.cycle < limit:
+        machine.run(machine.cycle + 50)
+        if machine.all_done():
+            break
+        for prog in _compiled_programs(machine):
+            if 0 < prog.pos < len(prog.k.buffer):
+                return
+    raise AssertionError("never caught a program mid-superblock")
+
+
+@pytest.mark.parametrize("interp", (False, True),
+                         ids=("compiled", "interp"))
+def test_snapshot_mid_superblock_restores_identically(interp, monkeypatch):
+    """Snapshot with the superblock cursor mid-buffer; the regrafted
+    generator + cursor state must finish with the stats of an
+    uninterrupted run — with compilation on and (trivially, the cursor
+    then lives in the reference buffer) off."""
+    if interp:
+        monkeypatch.setenv("REPRO_APP_INTERP", "1")
+    else:
+        monkeypatch.delenv("REPRO_APP_INTERP", raising=False)
+    spec = ck.make_spec("ocean", "smtp", n_nodes=1, preset="tiny")
+
+    straight = _finish(ck.build_checkpointable(spec))
+
+    m = ck.build_checkpointable(spec)
+    if interp:
+        m.run(1200)  # no cursor to catch; any mid-run point will do
+        assert not _compiled_programs(m)
+    else:
+        _pause_mid_superblock(m)
+        assert any(0 < p.pos < len(p.k.buffer) for p in _compiled_programs(m))
+    resumed = _finish(ck.restore(ck.snapshot(m)))
+
+    assert resumed == straight
+
+
+def test_interp_and_compiled_checkpoint_runs_agree(monkeypatch):
+    """The four-way diff: straight/restored × interp/compiled all land
+    on one MachineStats."""
+    spec = ck.make_spec("fft", "base", n_nodes=1, preset="tiny")
+    outcomes = {}
+    for interp in (False, True):
+        if interp:
+            monkeypatch.setenv("REPRO_APP_INTERP", "1")
+        else:
+            monkeypatch.delenv("REPRO_APP_INTERP", raising=False)
+        straight = _finish(ck.build_checkpointable(spec))
+        m = ck.build_checkpointable(spec)
+        m.run(900)
+        resumed = _finish(ck.restore(ck.snapshot(m)))
+        outcomes[("straight", interp)] = straight
+        outcomes[("resumed", interp)] = resumed
+    monkeypatch.delenv("REPRO_APP_INTERP", raising=False)
+    baseline = outcomes[("straight", False)]
+    for key, stats in outcomes.items():
+        assert stats == baseline, f"{key} diverged"

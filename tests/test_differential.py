@@ -128,3 +128,71 @@ def test_event_vs_dense_run_app_multinode(monkeypatch):
     event = run(dense=False)
     assert event.skipped_cycles > 0, "event mode should skip idle cycles"
     assert _comparable(event) == _comparable(dense)
+
+
+# ----------------------------------------------------------------------
+# App-tier compilation: interpreted KernelBuilder feed vs compiled
+# superblocks (REPRO_APP_INTERP=1 vs the default).
+# ----------------------------------------------------------------------
+#
+# Unlike the dense/event differential above, the app compiler claims
+# *complete* equality — the compiled feed replays the same µop stream,
+# so every field of MachineStats (including ``skipped_cycles``) and the
+# protocol trace tail must match bit for bit.
+
+from repro.sim.driver import run_machine  # noqa: E402
+from repro.sim.experiments import app_sources, preset_sizes  # noqa: E402
+
+APPS = ("water", "fft", "fftw", "lu", "ocean", "radix")
+TRACE_TAIL = 512
+
+
+def _run_app_traced(app: str, model: str, n_nodes: int, interp: bool):
+    import os
+
+    old = os.environ.get("REPRO_APP_INTERP")
+    if interp:
+        os.environ["REPRO_APP_INTERP"] = "1"
+    else:
+        os.environ.pop("REPRO_APP_INTERP", None)
+    try:
+        machine = build_machine(model, n_nodes=n_nodes)
+        tracer = ProtocolTracer(machine, ring=True, max_events=TRACE_TAIL)
+        sources = app_sources(app, machine, dict(preset_sizes(app, "tiny")))
+        stats = run_machine(machine, sources, max_cycles=30_000_000)
+        return stats.to_dict(), _trace_stream(tracer)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_APP_INTERP", None)
+        else:
+            os.environ["REPRO_APP_INTERP"] = old
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_interp_vs_compiled_all_apps(model):
+    """All six workloads, one model per test id: complete stats +
+    trace-tail bit-identity between the two app feeds."""
+    for app in APPS:
+        interp_stats, interp_trace = _run_app_traced(
+            app, model, n_nodes=1, interp=True)
+        compiled_stats, compiled_trace = _run_app_traced(
+            app, model, n_nodes=1, interp=False)
+        assert compiled_stats == interp_stats, f"{app}/{model}: stats diverge"
+        assert compiled_trace == interp_trace, f"{app}/{model}: trace diverges"
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    app=st.sampled_from(APPS),
+    model=st.sampled_from(MODELS),
+    n_nodes=st.sampled_from((1, 2)),
+)
+def test_interp_vs_compiled_property(app, model, n_nodes):
+    """Random (app, model, nodes) cells: the compiled feed is
+    observationally invisible, multi-node included."""
+    interp_stats, interp_trace = _run_app_traced(
+        app, model, n_nodes, interp=True)
+    compiled_stats, compiled_trace = _run_app_traced(
+        app, model, n_nodes, interp=False)
+    assert compiled_stats == interp_stats
+    assert compiled_trace == interp_trace

@@ -17,3 +17,19 @@ def test_docs_match_live_cli_help(capsys):
     rc = check_docs.main()
     out = capsys.readouterr().out
     assert rc == 0, f"stale documentation:\n{out}"
+
+
+def test_env_flag_inventory_is_checked_both_ways():
+    """The checker sees the live REPRO_* flag set (so a new escape
+    hatch shipping undocumented, or a doc describing a removed one,
+    fails tier-1) and the app-compiler hatch is in it."""
+    implemented = check_docs.implemented_env_flags()
+    assert "REPRO_APP_INTERP" in implemented
+    assert "REPRO_INTERP" in implemented
+    assert "REPRO_DENSE_STEP" in implemented
+    documented = set()
+    for rel in check_docs.ENV_DOCS:
+        documented |= set(
+            check_docs.ENV_RE.findall((check_docs.REPO / rel).read_text()))
+    assert implemented <= documented, (
+        f"undocumented env flags: {sorted(implemented - documented)}")

@@ -57,6 +57,22 @@ class TestCacheKey:
         assert len(v) == 16
         int(v, 16)  # must be a hex digest prefix
 
+    def test_app_execution_mode_changes_the_key(self, monkeypatch):
+        # Interpreter-mode rows carry interpreter-mode elapsed_s; the
+        # perf gate must never be fed those from a compiled-mode sweep
+        # (or vice versa).
+        base = fast_cell().cache_key()
+        monkeypatch.setenv("REPRO_APP_INTERP", "1")
+        assert fast_cell().cache_key() != base
+
+    def test_app_compiler_version_changes_the_key(self, monkeypatch):
+        from repro.apps import compile as acompile
+
+        base = fast_cell().cache_key()
+        monkeypatch.setattr(acompile, "APP_COMPILER_VERSION",
+                            acompile.APP_COMPILER_VERSION + 1)
+        assert fast_cell().cache_key() != base
+
     def test_flag_order_is_canonical(self):
         a = SweepCell.make("water", "smtp", protocol_bitops=True,
                            look_ahead_scheduling=True, **FAST)
@@ -102,6 +118,30 @@ class TestResultCache:
         assert len(results) == 2
         assert results[0].stats == results[1].stats
         assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+    def test_stale_rows_not_reused_across_app_compiler_versions(
+            self, tmp_path, monkeypatch):
+        # Regression: rows cached by an older app compiler must be
+        # re-simulated, not served, after a version bump.
+        from repro.apps import compile as acompile
+
+        cache = ResultCache(tmp_path)
+        old_row = run_sweep([fast_cell()], jobs=0, cache=cache)[0]
+        assert old_row.ok and not old_row.cached
+        monkeypatch.setattr(acompile, "APP_COMPILER_VERSION",
+                            acompile.APP_COMPILER_VERSION + 1)
+        bumped = run_sweep([fast_cell()], jobs=0, cache=cache)[0]
+        assert not bumped.cached, "stale pre-bump cache row was served"
+        assert bumped.stats == old_row.stats  # semantics didn't change
+
+    def test_stale_rows_not_reused_across_app_feed_modes(
+            self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_sweep([fast_cell()], jobs=0, cache=cache)
+        monkeypatch.setenv("REPRO_APP_INTERP", "1")
+        interp_row = run_sweep([fast_cell()], jobs=0, cache=cache)[0]
+        assert not interp_row.cached
 
 
 class TestDegradation:
@@ -193,14 +233,16 @@ class TestSweepCLI:
         from repro.sim.sweep import NAMED_GRIDS
 
         cells = NAMED_GRIDS["smoke"]()
-        assert len(cells) == 7
-        assert all(c.preset == "tiny" for c in cells)
+        assert len(cells) == 8
         # Two 2-node cells exercise the cross-node regime the event
         # scheduler accelerates most; the 16-node cell is protocol-heavy
         # (most cycles inside handlers) and anchors the compiled-handler
-        # speedup floor in BENCH_smoke.json.
+        # speedup floor in BENCH_smoke.json; the single bench-preset
+        # cell is app-heavy and anchors the app-compilation floor.
         assert sum(1 for c in cells if c.n_nodes == 2) == 2
         assert sum(1 for c in cells if c.n_nodes == 16) == 1
+        assert [(c.app, c.preset) for c in cells if c.preset != "tiny"] \
+            == [("ocean", "bench")]
 
     def test_list_grids(self, capsys):
         from repro.__main__ import main

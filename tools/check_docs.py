@@ -17,6 +17,15 @@ flags argparse actually advertises:
    operator's manual.  (``analyze`` flags are checked in direction 1
    only; its reference lives in ``docs/handlers.md`` prose.)
 
+The same two directions are enforced for ``REPRO_*`` environment
+flags (the execution-mode escape hatches and bench knobs):
+
+3. **No phantom env flags** — every ``REPRO_*`` token in a checked
+   doc must be read somewhere in ``src/`` or ``benchmarks/``.
+
+4. **No undocumented env flags** — every ``REPRO_*`` flag the code
+   reads must be described in README.md or EXPERIMENTS.md.
+
 Run as ``make docs-check`` or ``python tools/check_docs.py``; exit 0
 clean, 1 stale.  ``tests/test_docs.py`` wraps it so staleness also
 fails tier-1.
@@ -54,6 +63,21 @@ ALLOWED_EXTERNAL = {
 }
 
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+# REPRO_* environment flags: which docs must (between them) describe
+# every implemented flag, and where implementations may live.
+ENV_RE = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*")
+ENV_DOCS = ("README.md", "EXPERIMENTS.md")
+ENV_SOURCE_DIRS = ("src", "benchmarks")
+
+
+def implemented_env_flags() -> set[str]:
+    """Every ``REPRO_*`` token the code actually reads."""
+    flags: set[str] = set()
+    for top in ENV_SOURCE_DIRS:
+        for path in (REPO / top).rglob("*.py"):
+            flags |= set(ENV_RE.findall(path.read_text()))
+    return flags
 
 
 def live_flags(command: str) -> set[str]:
@@ -108,6 +132,27 @@ def main() -> int:
                     f"{MANUAL_DOC}: `{cmd}` flag {flag} is live in "
                     f"--help but undocumented"
                 )
+
+    # Directions 3 and 4: REPRO_* env flags, both ways.
+    implemented = implemented_env_flags()
+    documented_env: set[str] = set()
+    for rel in DOC_COMMANDS:
+        path = REPO / rel
+        if not path.exists():
+            continue
+        found = set(ENV_RE.findall(path.read_text()))
+        if rel in ENV_DOCS:
+            documented_env |= found
+        for flag in sorted(found - implemented):
+            problems.append(
+                f"{rel}: documents {flag}, which nothing under "
+                f"{'/'.join(ENV_SOURCE_DIRS)} reads"
+            )
+    for flag in sorted(implemented - documented_env):
+        problems.append(
+            f"env flag {flag} is read by the code but described in "
+            f"neither of {', '.join(ENV_DOCS)}"
+        )
 
     for line in problems:
         print(f"docs-check: {line}")
