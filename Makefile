@@ -4,7 +4,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze lint docs-check
+.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze model-deep lint docs-check
 
 # Tier-1 gate: the full unit/integration/property suite, then the
 # protocol verifier (static + dispatch + exhaustive small model).
@@ -17,6 +17,23 @@ test tier1:
 # and the exhaustive 2-node small-model check. Exit 1 = findings.
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS)
+
+# Deep model-checking sweep: the larger machines the reduced checker
+# (symmetry + ample sets, docs/analyze.md) makes CI-affordable.
+# Regenerates BENCH_model.json — the committed state-space trajectory
+# (states, canonical orbit coverage, reduction ratios, wall time per
+# config) — which tests/test_model_bench.py gates in tier-1.  Runs
+# --jobs 1 so the counts are the deterministic sequential ones.
+model-deep:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs 1 \
+		--bench-model BENCH_model.json
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs 1 \
+		--nodes 4 --loads 0 --stores 1 --bench-model BENCH_model.json
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs 1 \
+		--nodes 3 --lines 2 --loads 0 --stores 1 \
+		--bench-model BENCH_model.json
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs 1 \
+		--lines 2 --bench-model BENCH_model.json
 
 # Style + types. ruff/mypy are optional (pip install -e .[lint]);
 # when absent the target reports and succeeds so offline CI images

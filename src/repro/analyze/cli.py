@@ -27,13 +27,30 @@ def add_analyze_parser(sub) -> None:
         description=(
             "Static handler analysis, dispatch-completeness checking, "
             "and exhaustive small-model checking of the shipped "
-            "coherence handlers."
+            "coherence handlers (with symmetry + partial-order "
+            "reduction; see docs/analyze.md)."
         ),
     )
     p.add_argument("--json", action="store_true", help="emit a JSON report")
     p.add_argument(
-        "--max-nodes", type=int, default=2, metavar="N",
-        help="model-checker machine size (2 or 3; default 2)",
+        "--nodes", "--max-nodes", dest="nodes", type=int, default=2,
+        metavar="N",
+        help="model-checker machine size (2-6; default 2)",
+    )
+    p.add_argument(
+        "--lines", type=int, default=1, metavar="L",
+        help="number of cache lines under test (1-3; default 1)",
+    )
+    p.add_argument(
+        "--depth", type=int, default=None, metavar="D",
+        help="cap BFS exploration at D transitions deep (default "
+        "unlimited; a capped run reports truncated=True)",
+    )
+    p.add_argument(
+        "--frontier-dir", default=None, metavar="DIR",
+        help="keep the BFS frontier on disk under DIR, sharded over "
+        "the worker pool and kill-resumable (see docs/analyze.md); "
+        "default in-memory",
     )
     p.add_argument(
         "--jobs", type=int, default=4, metavar="J",
@@ -57,6 +74,12 @@ def add_analyze_parser(sub) -> None:
         help="skip the (slower) small-model checking pass",
     )
     p.add_argument(
+        "--bench-model", default=None, metavar="PATH",
+        help="record the model pass (states, canonical states, "
+        "reduction ratios, wall time) as a row in PATH "
+        "(BENCH_model.json convention; gated by tier-1)",
+    )
+    p.add_argument(
         "--artifacts", default="analyze-artifacts", metavar="DIR",
         help="directory for replayable counterexample artifacts",
     )
@@ -73,6 +96,46 @@ def add_analyze_parser(sub) -> None:
     p.set_defaults(fn=cmd_analyze)
 
 
+def bench_row(config: dict, result, seconds: float) -> dict:
+    """One BENCH_model.json row: the trajectory point for a config."""
+    states = max(1, result.states)
+    explored = result.transitions + result.pruned
+    return {
+        **config,
+        "states": result.states,
+        "sym_states": result.sym_states,
+        "transitions": result.transitions,
+        "pruned": result.pruned,
+        "max_depth": result.max_depth,
+        "truncated": result.truncated,
+        "violation": result.violation is not None,
+        # canonical-state compression from symmetry alone:
+        "sym_ratio": round(result.sym_states / states, 3),
+        # fraction of enabled transitions the ample sets pruned:
+        "por_ratio": round(result.pruned / explored, 3) if explored else 0.0,
+        "seconds": round(seconds, 2),
+    }
+
+
+def update_bench_model(path: str, row: dict) -> None:
+    """Merge ``row`` into the BENCH_model.json trajectory at ``path``.
+
+    Rows are keyed by configuration slug so re-running one
+    configuration refreshes only its own row (mirroring the
+    BENCH_smoke.json per-cell convention).
+    """
+    key = (
+        f"n{row['nodes']}-L{row['lines']}"
+        f"-loads{row['loads']}-stores{row['stores']}"
+    )
+    target = Path(path)
+    doc = {"schema": 1, "configs": {}}
+    if target.exists():
+        doc = json.loads(target.read_text())
+    doc.setdefault("configs", {})[key] = row
+    target.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
 def build_report(
     jobs: int = 1,
     max_nodes: int = 2,
@@ -81,6 +144,10 @@ def build_report(
     stores: int = 1,
     run_model: bool = True,
     artifacts_dir: Optional[str] = None,
+    n_lines: int = 1,
+    depth: Optional[int] = None,
+    frontier_dir: Optional[str] = None,
+    bench_model: Optional[str] = None,
 ) -> Report:
     """Run all passes over the real (extension-installed) table."""
     from repro.protocol import extensions
@@ -120,14 +187,28 @@ def build_report(
         result = check_model(
             n_nodes=max_nodes, loads=loads, stores=stores, jobs=jobs,
             max_states=max_states, table=table, layout=layout,
+            n_lines=n_lines, depth=depth, frontier_dir=frontier_dir,
         )
+        seconds = time.perf_counter() - t0
         report.stats["model"] = {
             "nodes": max_nodes,
+            "lines": n_lines,
             "states": result.states,
+            "sym_states": result.sym_states,
             "transitions": result.transitions,
+            "pruned": result.pruned,
+            "max_depth": result.max_depth,
             "truncated": result.truncated,
-            "seconds": round(time.perf_counter() - t0, 2),
+            "seconds": round(seconds, 2),
         }
+        if bench_model is not None:
+            update_bench_model(bench_model, bench_row(
+                {
+                    "nodes": max_nodes, "lines": n_lines,
+                    "loads": loads, "stores": stores,
+                },
+                result, seconds,
+            ))
         if result.violation is not None:
             v = result.violation
             detail = {
@@ -136,7 +217,8 @@ def build_report(
             }
             if artifacts_dir is not None:
                 path = counterexample_artifact(
-                    Path(artifacts_dir) / f"model_{v.code}.json", v, max_nodes
+                    Path(artifacts_dir) / f"model_{v.code}.json", v,
+                    max_nodes, n_lines,
                 )
                 detail["artifact"] = str(path)
             report.add(Finding(
@@ -175,12 +257,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             return 0
         report = build_report(
             jobs=args.jobs,
-            max_nodes=args.max_nodes,
+            max_nodes=args.nodes,
             max_states=args.max_states,
             loads=args.loads,
             stores=args.stores,
             run_model=not args.no_model,
             artifacts_dir=args.artifacts,
+            n_lines=args.lines,
+            depth=args.depth,
+            frontier_dir=args.frontier_dir,
+            bench_model=args.bench_model,
         )
     except ConfigError as exc:
         print(f"analyze: {exc}", file=sys.stderr)

@@ -84,15 +84,37 @@ class Report:
 
         ``suppressions`` is a sequence of
         :class:`repro.analyze.suppressions.Suppression`.
+
+        A rule that matches *no* finding is itself reported as an
+        error finding (code ``stale-suppression``): every suppression
+        is a written-down argument about a finding the analyzer
+        raises, and once the finding stops firing the argument is
+        dead weight that would silently mask a future regression.
         """
         kept: List[Finding] = []
+        used = set()
         for finding in self.findings:
             rule = next((s for s in suppressions if s.matches(finding)), None)
-            if rule is not None and finding.severity == SEV_ERROR:
-                self.suppressed.append(finding)
-            else:
-                kept.append(finding)
+            if rule is not None:
+                used.add(rule)
+                if finding.severity == SEV_ERROR:
+                    self.suppressed.append(finding)
+                    continue
+            kept.append(finding)
         self.findings = kept
+        for rule in suppressions:
+            if rule not in used:
+                self.add(Finding(
+                    rule.pass_name, "stale-suppression", rule.handler,
+                    f"suppression for {rule.pass_name}/{rule.code}"
+                    f"/{rule.handler} matched no finding: the argument "
+                    "it records is dead — delete the entry (or fix its "
+                    "state prefixes) so the list cannot rot",
+                    detail={
+                        "suppressed_code": rule.code,
+                        "states": list(rule.states or ()),
+                    },
+                ))
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -1,8 +1,9 @@
 """Pass 3: exhaustive small-model checking of the real handler table.
 
-An explicit-state BFS over a tiny abstract machine — 2 or 3 nodes, one
-application line homed at node 0 — whose *protocol* side is the actual
-handler programs executed instruction-by-instruction through
+An explicit-state BFS over a tiny abstract machine — 2 to 6 nodes,
+one to three application lines homed at node 0 — whose *protocol*
+side is the actual handler programs executed
+instruction-by-instruction through
 :class:`repro.protocol.semantics.FunctionalRunner`, with the uncached
 operations (SENDH/SENDA/PROBE/COMPLETE/RESEND/MEMWR) mirrored from
 :class:`repro.memctrl.controller.MemoryController` and the cache/MSHR
@@ -10,16 +11,34 @@ side mirrored from :class:`repro.caches.hierarchy.CacheHierarchy`.
 Timing is abstracted away; every interleaving of message arrivals,
 issue events, and evictions is explored.
 
+Beyond the flat BFS, the checker applies two sound reductions (see
+DESIGN.md, "Reduction theory", and :mod:`repro.analyze.symmetry`):
+
+* **Symmetry** — states are canonicalized under permutations of the
+  non-home nodes and of the lines before entering the visited set.
+  Each BFS entry carries the permutation mapping its canonical frame
+  back to the original machine, so counterexample traces stay
+  concrete and replayable.
+* **Partial-order reduction** — when a queued L2 probe reply can be
+  dispatched and provably commutes with every other enabled
+  transition (:func:`ample_probe`), it is explored *alone* as a
+  singleton ample set and the sibling interleavings are pruned.
+
+Deep configurations additionally run against a disk-backed frontier
+(:mod:`repro.analyze.frontier`) sharded over ``sim.sweep.pool_map``
+workers, kill-resumable via the PR 6 ledger machinery.
+
 Invariants (the same ones :mod:`repro.fuzz.sanitizer` checks online):
 
-* **SWMR** — at most one *writable* (EXCLUSIVE/MODIFIED) copy ever
-  exists.  Stale SHARED copies transiently coexisting with a writable
-  copy are the protocol's documented eager-exclusive relaxation and
-  are allowed.
-* **Data value** — the k-th store machine-wide leaves the owning copy
-  at version k; a store landing on a stale base is a lost update.
-* **No stuck states** — an MSHR with no message in flight anywhere can
-  never complete: deadlock.
+* **SWMR** — at most one *writable* (EXCLUSIVE/MODIFIED) copy of a
+  line ever exists.  Stale SHARED copies transiently coexisting with
+  a writable copy are the protocol's documented eager-exclusive
+  relaxation and are allowed.
+* **Data value** — the k-th store to a line machine-wide leaves the
+  owning copy at version k; a store landing on a stale base is a
+  lost update.
+* **No stuck states** — an MSHR with no message in flight anywhere
+  can never complete: deadlock.
 * **Directory health** — entries always decode to a legal state with
   in-range owner/waiter/sharers, and at quiescence the directory
   agrees with the caches (owner recorded iff a writable copy exists,
@@ -34,8 +53,8 @@ re-drive the concrete machine along the same op sequence.
 
 Deliberate model simplifications, documented:
 
-* one line, so cache-capacity conflicts do not exist; evictions and
-  silent SHARED drops are explicit transitions instead,
+* at most one MSHR per (node, line) and no cache-capacity conflicts;
+  evictions and silent SHARED drops are explicit transitions instead,
 * loads that hit do not appear as transitions (no protocol effect),
 * atomics/prefetches and the active-memory extension are out of the
   issue alphabet,
@@ -65,9 +84,24 @@ from repro.protocol.semantics import FunctionalRunner
 from repro.memctrl.dispatch import handler_name_for, incoming_header
 from repro.protocol.handlers import PROBE_DISPATCH
 
-#: The one application line under test; homed at node 0 for the
-#: standard fuzz layout (local_memory_bytes = 1 << 22).
+from repro.analyze import symmetry as sym
+
+#: First application line under test; homed at node 0 for the
+#: standard fuzz layout (local_memory_bytes = 1 << 22).  Additional
+#: lines are consecutive 128-byte neighbours, so every line shares
+#: the same home and the symmetry group treats them uniformly.
 LINE = 0x2000
+LINE_STRIDE = 128
+
+#: Hard caps: the symmetry group is (n-1)!·L!, and canonicalization
+#: enumerates it per successor, so keep both small.
+MAX_NODES = 6
+MAX_LINES = 3
+
+
+def line_addr(line: int) -> int:
+    return LINE + line * LINE_STRIDE
+
 
 _MTYPE_BY_VALUE = {m.value: m for m in MsgType}
 
@@ -79,6 +113,12 @@ _REPLY_NAMES = frozenset(
         MsgType.NACK_UPGRADE, MsgType.AM_REPLY,
     )
 )
+
+_PROBE_KINDS = {
+    "INT_SHARED": "downgrade",
+    "INT_EXCL": "inval_owner",
+    "INVAL": "inval",
+}
 
 
 class MMsg(NamedTuple):
@@ -93,10 +133,11 @@ class MMsg(NamedTuple):
     acks: int = 0
     found: bool = False
     probe_kind: str = ""
+    line: int = 0  # line index (address = line_addr(line))
 
 
 class MShr(NamedTuple):
-    """One node's (single) miss-status register for the line."""
+    """One node's miss-status register for one line."""
 
     kind: str  # 'read' | 'write'
     request_upgrade: bool = False
@@ -112,22 +153,22 @@ class MShr(NamedTuple):
 
 
 class MNode(NamedTuple):
-    cache: str  # '' (invalid) | 'S' | 'E' | 'M'
-    version: int = 0
-    mshr: Optional[MShr] = None
+    caches: Tuple[str, ...]  # per line: '' (invalid) | 'S' | 'E' | 'M'
+    versions: Tuple[int, ...]  # per line
+    mshrs: Tuple[Optional[MShr], ...]  # per line
     probes: Tuple[MMsg, ...] = ()  # node-internal L2 probe replies
     lmi: Tuple[MMsg, ...] = ()  # local miss interface queue
-    loads: int = 0  # remaining load-issue budget
-    stores: int = 0  # remaining store-issue budget
-    wb_pending: bool = False  # PUT sent, WB_ACK not yet received
+    loads: int = 0  # remaining load-issue budget (shared across lines)
+    stores: int = 0  # remaining store-issue budget (shared across lines)
+    wb_pending: Tuple[bool, ...] = ()  # per line: PUT sent, no WB_ACK yet
 
 
 class MState(NamedTuple):
     nodes: Tuple[MNode, ...]
-    entry: int  # the line's directory entry (lives at home)
-    mem: int  # home memory version of the line
-    mem_set: bool  # has memory_versions ever been written?
-    count: int  # machine-wide committed store count
+    entries: Tuple[int, ...]  # per line directory entry (at home)
+    mems: Tuple[int, ...]  # per line home memory version
+    mem_sets: Tuple[bool, ...]  # per line: memory ever written?
+    counts: Tuple[int, ...]  # per line machine-wide committed stores
     chans: Tuple[Tuple[MMsg, ...], ...]  # (src*n+dest)*3+vn FIFOs
 
 
@@ -150,18 +191,43 @@ class Violation(NamedTuple):
 
 
 class ExploreResult(NamedTuple):
-    states: int
-    transitions: int
+    states: int  # canonical states visited (raw when reductions off)
+    transitions: int  # transitions actually applied
     truncated: bool
     violation: Optional[Violation]
+    #: Σ orbit sizes over visited canonical states: the size of the
+    #: symmetry-closed set the canonical set represents.  The
+    #: symmetry reduction ratio is sym_states / states.
+    sym_states: int = 0
+    #: transitions pruned by the ample-set reduction (never applied).
+    pruned: int = 0
+    #: deepest trace length reached.
+    max_depth: int = 0
 
 
-def initial_state(n_nodes: int, loads: int, stores: int) -> MState:
+def initial_state(
+    n_nodes: int, loads: int, stores: int, n_lines: int = 1
+) -> MState:
     nodes = tuple(
-        MNode(cache="", loads=loads, stores=stores) for _ in range(n_nodes)
+        MNode(
+            caches=("",) * n_lines,
+            versions=(0,) * n_lines,
+            mshrs=(None,) * n_lines,
+            loads=loads,
+            stores=stores,
+            wb_pending=(False,) * n_lines,
+        )
+        for _ in range(n_nodes)
     )
     chans = tuple(() for _ in range(n_nodes * n_nodes * 3))
-    return MState(nodes, d.encode(d.UNOWNED), 0, False, 0, chans)
+    return MState(
+        nodes,
+        entries=(d.encode(d.UNOWNED),) * n_lines,
+        mems=(0,) * n_lines,
+        mem_sets=(False,) * n_lines,
+        counts=(0,) * n_lines,
+        chans=chans,
+    )
 
 
 class _Sim:
@@ -171,29 +237,35 @@ class _Sim:
         self.layout = layout
         self.table = table
         self.n = len(st.nodes)
+        self.n_lines = len(st.entries)
         self.nodes = [n._asdict() for n in st.nodes]
         for node in self.nodes:
+            node["caches"] = list(node["caches"])
+            node["versions"] = list(node["versions"])
+            node["mshrs"] = list(node["mshrs"])
+            node["wb_pending"] = list(node["wb_pending"])
             node["probes"] = list(node["probes"])
             node["lmi"] = list(node["lmi"])
-        self.entry = st.entry
-        self.mem = st.mem
-        self.mem_set = st.mem_set
-        self.count = st.count
+        self.entries = list(st.entries)
+        self.mems = list(st.mems)
+        self.mem_sets = list(st.mem_sets)
+        self.counts = list(st.counts)
         self.chans = [list(q) for q in st.chans]
         self.home = layout.home_of(LINE)
 
     def freeze(self) -> MState:
         nodes = tuple(
             MNode(
-                cache=n["cache"], version=n["version"], mshr=n["mshr"],
-                probes=tuple(n["probes"]), lmi=tuple(n["lmi"]),
-                loads=n["loads"], stores=n["stores"],
-                wb_pending=n["wb_pending"],
+                caches=tuple(n["caches"]), versions=tuple(n["versions"]),
+                mshrs=tuple(n["mshrs"]), probes=tuple(n["probes"]),
+                lmi=tuple(n["lmi"]), loads=n["loads"], stores=n["stores"],
+                wb_pending=tuple(n["wb_pending"]),
             )
             for n in self.nodes
         )
         return MState(
-            nodes, self.entry, self.mem, self.mem_set, self.count,
+            nodes, tuple(self.entries), tuple(self.mems),
+            tuple(self.mem_sets), tuple(self.counts),
             tuple(tuple(q) for q in self.chans),
         )
 
@@ -221,12 +293,12 @@ class _Sim:
         else:
             name = handler_name_for(self._to_message(msg), node_id)
         regs = boot_registers(self.layout, node_id)
-        regs[ADDR] = LINE
+        regs[ADDR] = line_addr(msg.line)
         regs[HDR] = incoming_header(self._to_message(msg))
-        dir_addr = self.layout.dir_entry_addr(LINE)
+        dir_addr = self.layout.dir_entry_addr(line_addr(msg.line))
         pmem: Dict[int, int] = {}
         if node_id == self.home:
-            pmem[dir_addr] = self.entry
+            pmem[dir_addr] = self.entries[msg.line]
 
         latched: List[Optional[int]] = [None]
 
@@ -247,14 +319,16 @@ class _Sim:
             elif op is POp.COMPLETE:
                 self._apply_reply(node_id, msg)
             elif op is POp.RESEND:
-                self._resend(node_id, as_getx=instr.imm == RESEND_AS_GETX)
+                self._resend(
+                    node_id, msg.line, as_getx=instr.imm == RESEND_AS_GETX
+                )
             elif op is POp.MEMWR:
                 if msg.dirty:
-                    self.mem = msg.version
-                    self.mem_set = True
-                elif not self.mem_set:
-                    self.mem = msg.version
-                    self.mem_set = True
+                    self.mems[msg.line] = msg.version
+                    self.mem_sets[msg.line] = True
+                elif not self.mem_sets[msg.line]:
+                    self.mems[msg.line] = msg.version
+                    self.mem_sets[msg.line] = True
             elif op is POp.AMO:
                 pass  # atomics are outside the model's issue alphabet
             # SWITCH/LDCTXT: sequencing only.
@@ -267,13 +341,13 @@ class _Sim:
         except ProtocolError as exc:
             raise ModelViolation("trap", f"{name} at node {node_id}: {exc}")
         if node_id == self.home:
-            self.entry = pmem.get(dir_addr, self.entry)
+            self.entries[msg.line] = pmem.get(dir_addr, self.entries[msg.line])
 
     def _to_message(self, msg: MMsg) -> Message:
         m = Message(
-            MsgType[msg.mtype], LINE, src=msg.src, dest=msg.dest,
-            requester=msg.requester, version=msg.version, dirty=msg.dirty,
-            acks=msg.acks, found=msg.found,
+            MsgType[msg.mtype], line_addr(msg.line), src=msg.src,
+            dest=msg.dest, requester=msg.requester, version=msg.version,
+            dirty=msg.dirty, acks=msg.acks, found=msg.found,
         )
         if msg.probe_kind:
             m.probe_kind = MsgType[msg.probe_kind]
@@ -284,63 +358,63 @@ class _Sim:
         out = MMsg(
             mtype.name, src=node_id, dest=header_peer(header),
             requester=header_requester(header), acks=header_acks(header),
+            line=ctx_msg.line,
         )
         if mtype in (MsgType.DATA_SHARED, MsgType.DATA_EXCL, MsgType.PUT,
                      MsgType.SWB, MsgType.XFER):
             if ctx_msg.mtype == "L2_PROBE_REPLY":
                 out = out._replace(version=ctx_msg.version, dirty=ctx_msg.dirty)
             else:
-                out = out._replace(version=self.mem, dirty=False)
+                out = out._replace(version=self.mems[ctx_msg.line], dirty=False)
         self.route(out)
 
     def _execute_probe(self, node_id: int, ctx_msg: MMsg) -> None:
         """Mirror hierarchy.probe + the MC's reply composition."""
         probe_kind = ctx_msg.mtype  # INT_SHARED / INT_EXCL / INVAL
-        kind = {
-            "INT_SHARED": "downgrade",
-            "INT_EXCL": "inval_owner",
-            "INVAL": "inval",
-        }[probe_kind]
+        kind = _PROBE_KINDS[probe_kind]
+        line = ctx_msg.line
         node = self.nodes[node_id]
-        if node["wb_pending"]:
+        if node["wb_pending"][line]:
             # Writeback-buffer hit (hierarchy.probe): our PUT is in
             # flight and unacknowledged, so the intervention targets
             # the written-back copy.  Answer miss.
             self._probe_reply(node_id, ctx_msg, False, False, 0)
             return
-        mshr: Optional[MShr] = node["mshr"]
+        mshr: Optional[MShr] = node["mshrs"][line]
         if mshr is not None and not self._complete(mshr):
             if kind == "inval":
-                if node["cache"] == "":
+                if node["caches"][line] == "":
                     # Stale INVAL racing our re-fetch: early-ack, and
                     # discard a non-writable fill afterwards.
-                    node["mshr"] = mshr._replace(inval_after_fill=True)
+                    node["mshrs"][line] = mshr._replace(inval_after_fill=True)
                     self._probe_reply(node_id, ctx_msg, False, False, 0)
                     return
                 # INVAL racing an in-flight upgrade hits the
                 # still-present SHARED copy immediately.
             else:
-                node["mshr"] = mshr._replace(
+                node["mshrs"][line] = mshr._replace(
                     deferred=mshr.deferred + (ctx_msg,)
                 )
                 return
-        found, dirty, version = self._do_probe(node_id, kind)
+        found, dirty, version = self._do_probe(node_id, line, kind)
         self._probe_reply(node_id, ctx_msg, found, dirty, version)
 
-    def _do_probe(self, node_id: int, kind: str) -> Tuple[bool, bool, int]:
+    def _do_probe(
+        self, node_id: int, line: int, kind: str
+    ) -> Tuple[bool, bool, int]:
         node = self.nodes[node_id]
-        if node["cache"] == "":
+        if node["caches"][line] == "":
             return False, False, 0
-        if kind == "inval" and node["cache"] in ("E", "M"):
+        if kind == "inval" and node["caches"][line] in ("E", "M"):
             # Stale INVAL: a later transaction made us owner.  Ack and
             # keep the copy.
             return False, False, 0
-        dirty = node["cache"] == "M"
-        version = node["version"]
+        dirty = node["caches"][line] == "M"
+        version = node["versions"][line]
         if kind in ("inval", "inval_owner"):
-            node["cache"] = ""
+            node["caches"][line] = ""
         else:  # downgrade
-            node["cache"] = "S"
+            node["caches"][line] = "S"
         return True, dirty, version
 
     def _probe_reply(
@@ -349,7 +423,7 @@ class _Sim:
         self.nodes[node_id]["probes"].append(MMsg(
             "L2_PROBE_REPLY", src=origin.src, dest=node_id,
             requester=origin.requester, version=version, dirty=dirty,
-            found=found, probe_kind=origin.mtype,
+            found=found, probe_kind=origin.mtype, line=origin.line,
         ))
 
     # -- reply application (mirror of MC._apply_reply + hierarchy) ------
@@ -364,133 +438,135 @@ class _Sim:
 
     def _apply_reply(self, node_id: int, msg: MMsg) -> None:
         mtype = msg.mtype
+        line = msg.line
         if mtype == "DATA_SHARED":
-            self._refill(node_id, False, msg.version, msg.acks, False)
+            self._refill(node_id, line, False, msg.version, msg.acks, False)
         elif mtype == "DATA_EXCL":
-            self._refill(node_id, True, msg.version, msg.acks, msg.dirty)
+            self._refill(node_id, line, True, msg.version, msg.acks, msg.dirty)
         elif mtype == "UPGRADE_ACK":
             node = self.nodes[node_id]
-            if node["mshr"] is None:
+            if node["mshrs"][line] is None:
                 raise ModelViolation(
                     "reply-no-mshr", f"node {node_id}: upgrade ack, no MSHR"
                 )
-            version = node["version"] if node["cache"] else 0
-            self._data_reply(node_id, version, True, msg.acks)
-            self._maybe_complete(node_id, dirty=False)
+            version = node["versions"][line] if node["caches"][line] else 0
+            self._data_reply(node_id, line, version, True, msg.acks)
+            self._maybe_complete(node_id, line, dirty=False)
         elif mtype == "INV_ACK":
             node = self.nodes[node_id]
-            if node["mshr"] is None:
+            if node["mshrs"][line] is None:
                 raise ModelViolation(
                     "reply-no-mshr", f"node {node_id}: inval ack, no MSHR"
                 )
-            node["mshr"] = node["mshr"]._replace(
-                pending_acks=node["mshr"].pending_acks - 1
+            node["mshrs"][line] = node["mshrs"][line]._replace(
+                pending_acks=node["mshrs"][line].pending_acks - 1
             )
-            self._maybe_complete(node_id, dirty=False)
+            self._maybe_complete(node_id, line, dirty=False)
         elif mtype == "WB_ACK":
             node = self.nodes[node_id]
-            node["wb_pending"] = False
-            mshr = node["mshr"]
+            node["wb_pending"][line] = False
+            mshr = node["mshrs"][line]
             if mshr is not None and mshr.unissued:
                 # The parked miss issues now (hierarchy.wb_ack).
-                node["mshr"] = mshr._replace(unissued=False)
-                self._request(node_id)
+                node["mshrs"][line] = mshr._replace(unissued=False)
+                self._request(node_id, line)
         elif mtype == "NACK":
-            self._resend(node_id, as_getx=False)
+            self._resend(node_id, line, as_getx=False)
         elif mtype == "NACK_UPGRADE":
-            self._resend(node_id, as_getx=True)
+            self._resend(node_id, line, as_getx=True)
         else:
             raise ModelViolation("bad-reply", f"not a reply: {mtype}")
 
     def _refill(
-        self, node_id: int, writable: bool, version: int, acks: int, dirty: bool
+        self, node_id: int, line: int, writable: bool, version: int,
+        acks: int, dirty: bool,
     ) -> None:
         node = self.nodes[node_id]
-        if node["mshr"] is None:
+        if node["mshrs"][line] is None:
             raise ModelViolation(
                 "refill-no-mshr", f"node {node_id}: refill with no MSHR"
             )
-        self._data_reply(node_id, version, writable, acks)
-        mshr = node["mshr"]
+        self._data_reply(node_id, line, version, writable, acks)
+        mshr = node["mshrs"][line]
         if mshr.upgrade_pending and mshr.data_arrived and not writable:
-            self._convert_to_upgrade(node_id)
+            self._convert_to_upgrade(node_id, line)
             return
-        self._maybe_complete(node_id, dirty)
+        self._maybe_complete(node_id, line, dirty)
 
     def _data_reply(
-        self, node_id: int, version: int, writable: bool, acks: int
+        self, node_id: int, line: int, version: int, writable: bool, acks: int
     ) -> None:
-        mshr = self.nodes[node_id]["mshr"]
+        mshr = self.nodes[node_id]["mshrs"][line]
         upgrade_pending = mshr.upgrade_pending and not writable
-        self.nodes[node_id]["mshr"] = mshr._replace(
+        self.nodes[node_id]["mshrs"][line] = mshr._replace(
             data_arrived=True, version=version, writable=writable,
             pending_acks=mshr.pending_acks + acks,
             upgrade_pending=upgrade_pending,
         )
 
-    def _convert_to_upgrade(self, node_id: int) -> None:
+    def _convert_to_upgrade(self, node_id: int, line: int) -> None:
         node = self.nodes[node_id]
-        mshr = node["mshr"]
-        if node["cache"] == "":
-            node["cache"] = "S"
-            node["version"] = mshr.version
-        node["mshr"] = mshr._replace(
+        mshr = node["mshrs"][line]
+        if node["caches"][line] == "":
+            node["caches"][line] = "S"
+            node["versions"][line] = mshr.version
+        node["mshrs"][line] = mshr._replace(
             kind="write", upgrade_pending=False, request_upgrade=True,
             data_arrived=False, writable=False,
         )
-        self._request(node_id)
+        self._request(node_id, line)
 
-    def _maybe_complete(self, node_id: int, dirty: bool) -> None:
+    def _maybe_complete(self, node_id: int, line: int, dirty: bool) -> None:
         node = self.nodes[node_id]
-        mshr = node["mshr"]
+        mshr = node["mshrs"][line]
         if not self._complete(mshr):
             return
         if mshr.request_upgrade:
-            if node["cache"] == "":
+            if node["caches"][line] == "":
                 raise ModelViolation(
                     "upgrade-lost-copy",
                     f"node {node_id}: upgrade completed but the pinned "
                     "SHARED copy is gone",
                 )
-            node["cache"] = "M" if dirty else "E"
+            node["caches"][line] = "M" if dirty else "E"
         else:
             state = "M" if dirty else ("E" if mshr.writable else "S")
-            if node["cache"] == "":
-                node["cache"] = state
-                node["version"] = mshr.version
-            elif state in ("E", "M") and node["cache"] == "S":
+            if node["caches"][line] == "":
+                node["caches"][line] = state
+                node["versions"][line] = mshr.version
+            elif state in ("E", "M") and node["caches"][line] == "S":
                 # A lost upgrade retried as a full GETX: promote.
-                node["cache"] = state
-                node["version"] = max(node["version"], mshr.version)
-        node["mshr"] = None
+                node["caches"][line] = state
+                node["versions"][line] = max(
+                    node["versions"][line], mshr.version
+                )
+        node["mshrs"][line] = None
         for _ in range(mshr.stores):
-            self._commit_store(node_id)
-        if mshr.inval_after_fill and node["cache"] == "S":
-            node["cache"] = ""  # the early-acked INVAL lands now
+            self._commit_store(node_id, line)
+        if mshr.inval_after_fill and node["caches"][line] == "S":
+            node["caches"][line] = ""  # the early-acked INVAL lands now
         for probe in mshr.deferred:
-            kind = {
-                "INT_SHARED": "downgrade",
-                "INT_EXCL": "inval_owner",
-                "INVAL": "inval",
-            }[probe.mtype]
-            found, dty, version = self._do_probe(node_id, kind)
+            kind = _PROBE_KINDS[probe.mtype]
+            found, dty, version = self._do_probe(node_id, probe.line, kind)
             self._probe_reply(node_id, probe, found, dty, version)
 
-    def _resend(self, node_id: int, as_getx: bool) -> None:
+    def _resend(self, node_id: int, line: int, as_getx: bool) -> None:
         node = self.nodes[node_id]
-        mshr = node["mshr"]
+        mshr = node["mshrs"][line]
         if mshr is None:
             return  # stale NACK: transaction already completed
         if as_getx:
             mshr = mshr._replace(request_upgrade=False)
-            node["mshr"] = mshr
+            node["mshrs"][line] = mshr
         if mshr.request_upgrade:
             mtype = "UPGRADE"
         elif mshr.kind == "write":
             mtype = "GETX"
         else:
             mtype = "GET"
-        msg = MMsg(mtype, src=node_id, dest=self.home, requester=node_id)
+        msg = MMsg(
+            mtype, src=node_id, dest=self.home, requester=node_id, line=line
+        )
         if self.home == node_id:
             node["lmi"].append(msg)
         else:
@@ -498,14 +574,14 @@ class _Sim:
 
     # -- issue / eviction side ------------------------------------------
 
-    def _request(self, node_id: int) -> None:
+    def _request(self, node_id: int, line: int) -> None:
         """Mirror of hierarchy._issue_app_miss + MC.app_miss: compose
         the request for the current MSHR and enqueue it locally — or
         park it while our PUT for the line is unacknowledged."""
         node = self.nodes[node_id]
-        mshr = node["mshr"]
-        if node["wb_pending"]:
-            node["mshr"] = mshr._replace(unissued=True)
+        mshr = node["mshrs"][line]
+        if node["wb_pending"][line]:
+            node["mshrs"][line] = mshr._replace(unissued=True)
             return
         if mshr.request_upgrade:
             mtype = "UPGRADE"
@@ -514,77 +590,82 @@ class _Sim:
         else:
             mtype = "GET"
         node["lmi"].append(MMsg(
-            mtype, src=node_id, dest=self.home, requester=node_id
+            mtype, src=node_id, dest=self.home, requester=node_id, line=line
         ))
 
-    def _commit_store(self, node_id: int) -> None:
+    def _commit_store(self, node_id: int, line: int) -> None:
         node = self.nodes[node_id]
         for other_id, other in enumerate(self.nodes):
-            if other_id != node_id and other["cache"] in ("E", "M"):
+            if other_id != node_id and other["caches"][line] in ("E", "M"):
                 raise ModelViolation(
                     "swmr",
                     f"store at node {node_id} while node {other_id} also "
-                    "holds a writable copy",
+                    f"holds a writable copy of L{line}",
                 )
-        if node["cache"] not in ("E", "M"):
+        if node["caches"][line] not in ("E", "M"):
             raise ModelViolation(
                 "store-no-copy",
                 f"node {node_id} committed a store without a writable copy",
             )
-        self.count += 1
-        node["version"] += 1
-        node["cache"] = "M"
-        if node["version"] != self.count:
+        self.counts[line] += 1
+        node["versions"][line] += 1
+        node["caches"][line] = "M"
+        if node["versions"][line] != self.counts[line]:
             raise ModelViolation(
                 "data-value",
-                f"store #{self.count} left version {node['version']}: "
-                "the store landed on a stale copy",
+                f"store #{self.counts[line]} to L{line} left version "
+                f"{node['versions'][line]}: the store landed on a stale copy",
             )
 
-    def issue_load(self, node_id: int) -> None:
+    def issue_load(self, node_id: int, line: int) -> None:
         node = self.nodes[node_id]
         node["loads"] -= 1
-        node["mshr"] = MShr(kind="read")
-        self._request(node_id)
+        node["mshrs"][line] = MShr(kind="read")
+        self._request(node_id, line)
 
-    def issue_store(self, node_id: int) -> str:
+    def issue_store(self, node_id: int, line: int) -> str:
         node = self.nodes[node_id]
         node["stores"] -= 1
-        if node["mshr"] is not None:
+        mshr = node["mshrs"][line]
+        if mshr is not None:
             # Merge onto the in-flight read: ownership upgrade follows
             # the (possibly SHARED) fill.
-            node["mshr"] = node["mshr"]._replace(
-                upgrade_pending=True, stores=node["mshr"].stores + 1
+            node["mshrs"][line] = mshr._replace(
+                upgrade_pending=True, stores=mshr.stores + 1
             )
             return "merge"
-        if node["cache"] in ("E", "M"):
-            self._commit_store(node_id)
+        if node["caches"][line] in ("E", "M"):
+            self._commit_store(node_id, line)
             return "hit"
-        if node["cache"] == "S":
-            node["mshr"] = MShr(kind="write", request_upgrade=True, stores=1)
-            self._request(node_id)
+        if node["caches"][line] == "S":
+            node["mshrs"][line] = MShr(
+                kind="write", request_upgrade=True, stores=1
+            )
+            self._request(node_id, line)
             return "upgrade"
-        node["mshr"] = MShr(kind="write", stores=1)
-        self._request(node_id)
+        node["mshrs"][line] = MShr(kind="write", stores=1)
+        self._request(node_id, line)
         return "miss"
 
-    def evict(self, node_id: int) -> None:
+    def evict(self, node_id: int, line: int) -> None:
         node = self.nodes[node_id]
-        dirty = node["cache"] == "M"
-        version = node["version"]
-        node["cache"] = ""
-        node["wb_pending"] = True
+        dirty = node["caches"][line] == "M"
+        version = node["versions"][line]
+        node["caches"][line] = ""
+        node["wb_pending"][line] = True
         msg = MMsg(
             "PUT", src=node_id, dest=self.home, requester=node_id,
-            version=version, dirty=dirty,
+            version=version, dirty=dirty, line=line,
         )
         if self.home == node_id:
             node["lmi"].append(msg)
         else:
-            self.chan(node_id, self.home, virtual_network(MsgType.PUT)).append(msg)
+            self.chan(
+                node_id, self.home, virtual_network(MsgType.PUT)
+            ).append(msg)
 
-    def drop(self, node_id: int) -> None:
-        self.nodes[node_id]["cache"] = ""
+    def drop(self, node_id: int, line: int) -> None:
+        self.nodes[node_id]["caches"][line] = ""
 
 
 # ----------------------------------------------------------------------
@@ -594,38 +675,49 @@ class _Sim:
 
 def check_state(st: MState, n_nodes: int) -> None:
     """Raise ModelViolation if ``st`` breaks a global invariant."""
-    state = d.state_of(st.entry)
-    if state not in (
-        d.UNOWNED, d.SHARED, d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE
-    ):
-        raise ModelViolation(
-            "bad-directory", f"directory entry decodes to state {state}"
-        )
-    if state in (d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
-        if d.owner_of(st.entry) >= n_nodes:
+    n_lines = len(st.entries)
+    for line in range(n_lines):
+        entry = st.entries[line]
+        state = d.state_of(entry)
+        if state not in (
+            d.UNOWNED, d.SHARED, d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE
+        ):
             raise ModelViolation(
                 "bad-directory",
-                f"owner {d.owner_of(st.entry)} out of range",
+                f"L{line} directory entry decodes to state {state}",
             )
-    if state == d.SHARED and d.vector_of(st.entry) >> n_nodes:
-        raise ModelViolation(
-            "bad-directory",
-            f"sharer vector {d.vector_of(st.entry):#x} names absent nodes",
-        )
-    writable = [i for i, n in enumerate(st.nodes) if n.cache in ("E", "M")]
-    if len(writable) > 1:
-        raise ModelViolation(
-            "swmr", f"nodes {writable} hold writable copies simultaneously"
-        )
+        if state in (d.EXCLUSIVE, d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
+            if d.owner_of(entry) >= n_nodes:
+                raise ModelViolation(
+                    "bad-directory",
+                    f"L{line} owner {d.owner_of(entry)} out of range",
+                )
+        if state == d.SHARED and d.vector_of(entry) >> n_nodes:
+            raise ModelViolation(
+                "bad-directory",
+                f"L{line} sharer vector {d.vector_of(entry):#x} names "
+                "absent nodes",
+            )
+        writable = [
+            i for i, n in enumerate(st.nodes) if n.caches[line] in ("E", "M")
+        ]
+        if len(writable) > 1:
+            raise ModelViolation(
+                "swmr",
+                f"nodes {writable} hold writable copies of L{line} "
+                "simultaneously",
+            )
 
     in_flight = (
         any(st.chans)
         or any(n.lmi or n.probes for n in st.nodes)
     )
-    mshrs = [i for i, n in enumerate(st.nodes) if n.mshr is not None]
-    waiting = mshrs + [
+    waiting = [
         i for i, n in enumerate(st.nodes)
-        if n.wb_pending and n.mshr is None
+        if any(m is not None for m in n.mshrs)
+        or any(
+            wb and m is None for wb, m in zip(n.wb_pending, n.mshrs)
+        )
     ]
     if waiting and not in_flight:
         raise ModelViolation(
@@ -635,51 +727,64 @@ def check_state(st: MState, n_nodes: int) -> None:
             status="deadlock",
         )
     if not in_flight and not waiting:
-        _check_quiescent(st, n_nodes, writable, state)
+        for line in range(n_lines):
+            _check_quiescent_line(st, line)
 
 
-def _check_quiescent(
-    st: MState, n_nodes: int, writable: List[int], state: int
-) -> None:
+def _check_quiescent_line(st: MState, line: int) -> None:
+    entry = st.entries[line]
+    state = d.state_of(entry)
+    writable = [
+        i for i, n in enumerate(st.nodes) if n.caches[line] in ("E", "M")
+    ]
     if state in (d.BUSY_SHARED, d.BUSY_EXCLUSIVE):
         raise ModelViolation(
             "stuck-directory",
-            "quiescent machine left the directory BUSY: a transaction "
-            "evaporated without resolving",
+            f"quiescent machine left L{line}'s directory BUSY: a "
+            "transaction evaporated without resolving",
             status="deadlock",
         )
     if writable:
         owner = writable[0]
-        if state != d.EXCLUSIVE or d.owner_of(st.entry) != owner:
+        if state != d.EXCLUSIVE or d.owner_of(entry) != owner:
             raise ModelViolation(
                 "dir-cache-mismatch",
-                f"node {owner} holds a writable copy but the directory "
-                f"says {d.describe(st.entry)}",
+                f"node {owner} holds a writable copy of L{line} but the "
+                f"directory says {d.describe(entry)}",
             )
-        if st.nodes[owner].version != st.count:
+        if st.nodes[owner].versions[line] != st.counts[line]:
             raise ModelViolation(
                 "data-value",
-                f"quiescent owner copy at version "
-                f"{st.nodes[owner].version}, {st.count} stores committed",
+                f"quiescent owner copy of L{line} at version "
+                f"{st.nodes[owner].versions[line]}, {st.counts[line]} "
+                "stores committed",
             )
     else:
         if state == d.EXCLUSIVE:
             raise ModelViolation(
                 "dir-cache-mismatch",
-                f"directory says {d.describe(st.entry)} but no writable "
-                "copy exists",
+                f"directory says {d.describe(entry)} for L{line} but no "
+                "writable copy exists",
             )
-        if st.mem != st.count:
+        if st.mems[line] != st.counts[line]:
             raise ModelViolation(
                 "data-value",
-                f"quiescent memory at version {st.mem}, {st.count} "
-                "stores committed: updates were lost",
+                f"quiescent memory for L{line} at version "
+                f"{st.mems[line]}, {st.counts[line]} stores committed: "
+                "updates were lost",
             )
 
 
 # ----------------------------------------------------------------------
 # Transition relation
 # ----------------------------------------------------------------------
+
+
+def _store_issuable(node: MNode, line: int) -> bool:
+    mshr = node.mshrs[line]
+    return mshr is None or (
+        mshr.kind == "read" and not mshr.upgrade_pending
+    )
 
 
 def successors(
@@ -692,6 +797,7 @@ def successors(
     """
     out: List[Tuple[str, MState]] = []
     n = len(st.nodes)
+    n_lines = len(st.entries)
 
     def apply(label: str, fn) -> None:
         sim = _Sim(st, layout, table)
@@ -706,19 +812,18 @@ def successors(
 
     for i, node in enumerate(st.nodes):
         # Issue alphabet.
-        if node.loads > 0 and node.cache == "" and node.mshr is None:
-            apply(f"n{i}: load", lambda s, i=i: s.issue_load(i))
-        if node.stores > 0 and (
-            node.mshr is not None and node.mshr.kind == "read"
-            and not node.mshr.upgrade_pending
-            or node.mshr is None
-        ):
-            apply(f"n{i}: store", lambda s, i=i: s.issue_store(i))
-        # Evictions / silent drops.
-        if node.mshr is None and node.cache in ("E", "M"):
-            apply(f"n{i}: evict", lambda s, i=i: s.evict(i))
-        if node.mshr is None and node.cache == "S":
-            apply(f"n{i}: drop", lambda s, i=i: s.drop(i))
+        for k in range(n_lines):
+            if node.loads > 0 and node.caches[k] == "" and node.mshrs[k] is None:
+                apply(f"n{i}: load L{k}", lambda s, i=i, k=k: s.issue_load(i, k))
+            if node.stores > 0 and _store_issuable(node, k):
+                apply(
+                    f"n{i}: store L{k}", lambda s, i=i, k=k: s.issue_store(i, k)
+                )
+            # Evictions / silent drops.
+            if node.mshrs[k] is None and node.caches[k] in ("E", "M"):
+                apply(f"n{i}: evict L{k}", lambda s, i=i, k=k: s.evict(i, k))
+            if node.mshrs[k] is None and node.caches[k] == "S":
+                apply(f"n{i}: drop L{k}", lambda s, i=i, k=k: s.drop(i, k))
         # Dispatch: probe replies have absolute priority (they are
         # node-internal, so there is no arrival race to model).
         if node.probes:
@@ -728,7 +833,10 @@ def successors(
                 m = s.nodes[i]["probes"].pop(0)
                 s.run_handler(i, m)
 
-            apply(f"n{i}: dispatch {msg.probe_kind} reply", fire_probe)
+            apply(
+                f"n{i}: dispatch {msg.probe_kind} reply L{msg.line}",
+                fire_probe,
+            )
             continue
         if node.lmi:
             msg = node.lmi[0]
@@ -737,7 +845,9 @@ def successors(
                 m = s.nodes[i]["lmi"].pop(0)
                 s.run_handler(i, m)
 
-            apply(f"n{i}: dispatch {msg.mtype} (local)", fire_lmi)
+            apply(
+                f"n{i}: dispatch {msg.mtype} (local) L{msg.line}", fire_lmi
+            )
         for src in range(n):
             for vn in (0, 1, 2):
                 ci = (src * n + i) * 3 + vn
@@ -750,62 +860,230 @@ def successors(
                     s.run_handler(i, m)
 
                 apply(
-                    f"n{i}: dispatch {msg.mtype} from n{src}/vn{vn}",
+                    f"n{i}: dispatch {msg.mtype} from n{src}/vn{vn} "
+                    f"L{msg.line}",
                     fire_net,
                 )
     return out
 
 
 # ----------------------------------------------------------------------
-# Explicit-state BFS (sequential core + pool_map partitioning)
+# Partial-order reduction: singleton ample sets for probe replies
 # ----------------------------------------------------------------------
 
 
+def _evict_enabled(node: MNode) -> bool:
+    return any(
+        m is None and c in ("E", "M")
+        for m, c in zip(node.mshrs, node.caches)
+    )
+
+
+def ample_probe(st: MState, home: int = 0) -> Optional[int]:
+    """Pick a node whose queued L2 probe reply forms a singleton
+    ample set, or None if no dispatch qualifies.
+
+    Dispatching a queued probe reply only pops ``probes[i]`` and
+    pushes messages: a reply on VN1 to the requester and, for
+    interventions, a revision (SWB/XFER/INT_NACK) to the home.  All
+    pushes originate at node ``i`` (``chan(i, ·)`` or ``lmi(i)``), so
+    the only transitions it can fail to commute with are node ``i``'s
+    *own* issue/evict pushes into the same FIFOs — and probe priority
+    already blocks every other dispatch at ``i``, while issue budgets
+    only shrink and evict-enabledness cannot appear at ``i`` along
+    paths that do not dispatch this reply (a store hit requires an
+    already-evictable copy).  Hence the dynamic conditions:
+
+    * INVAL replies (INV_ACK to the requester on VN1) are always safe:
+      nothing else at ``i`` pushes VN1.
+    * intervention replies are safe iff the revision FIFO is private:
+      no evict enabled at ``i`` (the PUT would share
+      ``chan(i, home, VN2)``), and for ``i == home`` no issue budget
+      remains either (issues and evicts there share ``lmi(home)``).
+
+    The full soundness argument lives in DESIGN.md ("Reduction
+    theory"); tests/test_model_reduction.py checks one-step
+    commutation empirically on reachable states.
+    """
+    for i, node in enumerate(st.nodes):
+        if not node.probes:
+            continue
+        head = node.probes[0]
+        if head.probe_kind == "INVAL":
+            return i
+        if i != home:
+            if not _evict_enabled(node):
+                return i
+        elif (
+            node.loads == 0 and node.stores == 0
+            and not _evict_enabled(node)
+        ):
+            return i
+    return None
+
+
+def count_enabled(st: MState) -> int:
+    """How many transitions :func:`successors` would enumerate —
+    without applying any of them (used to account pruned work)."""
+    n = len(st.nodes)
+    n_lines = len(st.entries)
+    cnt = 0
+    for i, node in enumerate(st.nodes):
+        for k in range(n_lines):
+            if node.loads > 0 and node.caches[k] == "" and node.mshrs[k] is None:
+                cnt += 1
+            if node.stores > 0 and _store_issuable(node, k):
+                cnt += 1
+            if node.mshrs[k] is None and node.caches[k] in ("E", "M"):
+                cnt += 1
+            if node.mshrs[k] is None and node.caches[k] == "S":
+                cnt += 1
+        if node.probes:
+            cnt += 1
+            continue
+        if node.lmi:
+            cnt += 1
+        for src in range(n):
+            for vn in (0, 1, 2):
+                if st.chans[(src * n + i) * 3 + vn]:
+                    cnt += 1
+    return cnt
+
+
+def _apply_probe_dispatch(
+    st: MState, i: int, layout: DirectoryLayout, table: HandlerTable
+) -> Tuple[str, MState]:
+    msg = st.nodes[i].probes[0]
+    label = f"n{i}: dispatch {msg.probe_kind} reply L{msg.line}"
+    sim = _Sim(st, layout, table)
+    try:
+        m = sim.nodes[i]["probes"].pop(0)
+        sim.run_handler(i, m)
+        nxt = sim.freeze()
+        check_state(nxt, len(st.nodes))
+    except ModelViolation as exc:
+        exc.label = label  # type: ignore[attr-defined]
+        raise
+    return label, nxt
+
+
+def expand(
+    st: MState,
+    layout: DirectoryLayout,
+    table: HandlerTable,
+    por: bool = True,
+) -> Tuple[List[Tuple[str, MState]], int]:
+    """Successors of ``st`` under the (optional) ample-set reduction.
+
+    Returns ``(pairs, pruned)`` where ``pruned`` counts the enabled
+    transitions that were *not* applied because a singleton ample set
+    stood in for them.
+    """
+    if por:
+        i = ample_probe(st, home=0)
+        if i is not None:
+            pair = _apply_probe_dispatch(st, i, layout, table)
+            return [pair], count_enabled(st) - 1
+    return successors(st, layout, table), 0
+
+
+# ----------------------------------------------------------------------
+# Reduced explicit-state BFS (sequential core + pool_map partitioning)
+# ----------------------------------------------------------------------
+
+#: One BFS entry: a canonical state, the concrete (original-frame)
+#: trace that reaches a member of its orbit, and the node/line
+#: permutations mapping the canonical frame back to that original
+#: frame (so labels minted in the canonical frame can be translated).
+Entry = Tuple[MState, Tuple[str, ...], sym.Perm, sym.Perm]
+
+
+def root_entry(st: MState) -> Entry:
+    return (st, (), sym.identity(len(st.nodes)), sym.identity(len(st.entries)))
+
+
 def _bfs(
-    roots: List[Tuple[MState, Tuple[str, ...]]],
+    roots: List[Entry],
     layout: DirectoryLayout,
     table: HandlerTable,
     max_states: int,
+    depth: Optional[int] = None,
+    reduce_sym: bool = True,
+    reduce_por: bool = True,
 ) -> ExploreResult:
-    visited = {st for st, _ in roots}
+    visited = {st for st, _, _, _ in roots}
     frontier = deque(roots)
     transitions = 0
+    pruned = 0
+    sym_states = len(visited)  # roots are symmetric or pre-canonical
     truncated = False
+    max_depth = 0
     while frontier:
-        st, trace = frontier.popleft()
+        st, trace, sig, lam = frontier.popleft()
+        max_depth = max(max_depth, len(trace))
+        if depth is not None and len(trace) >= depth:
+            truncated = True
+            continue
         try:
-            succ = successors(st, layout, table)
+            succ, pr = expand(st, layout, table, por=reduce_por)
         except ModelViolation as exc:
-            label = getattr(exc, "label", "?")
+            label = sym.remap_label(getattr(exc, "label", "?"), sig, lam)
             return ExploreResult(
                 len(visited), transitions, truncated,
-                Violation(exc.code, exc.status, str(exc), trace + (label,)),
+                Violation(
+                    exc.code, exc.status,
+                    sym.remap_label(str(exc), sig, lam),
+                    trace + (label,),
+                ),
+                sym_states, pruned, max_depth,
             )
+        pruned += pr
         for label, nxt in succ:
             transitions += 1
-            if nxt in visited:
+            if reduce_sym:
+                cnxt, rho_s, rho_l, orbit = sym.canonicalize(nxt)
+            else:
+                cnxt, orbit = nxt, 1
+                rho_s = sym.identity(len(st.nodes))
+                rho_l = sym.identity(len(st.entries))
+            if cnxt in visited:
                 continue
             if len(visited) >= max_states:
                 truncated = True
                 continue
-            visited.add(nxt)
-            frontier.append((nxt, trace + (label,)))
-    return ExploreResult(len(visited), transitions, truncated, None)
+            visited.add(cnxt)
+            sym_states += orbit
+            frontier.append((
+                cnxt,
+                trace + (sym.remap_label(label, sig, lam),),
+                sym.compose(sig, sym.invert(rho_s)),
+                sym.compose(lam, sym.invert(rho_l)),
+            ))
+    return ExploreResult(
+        len(visited), transitions, truncated, None,
+        sym_states, pruned, max_depth,
+    )
 
 
 def _explore_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """pool_map worker: explore one frontier partition exhaustively."""
     result = _bfs(
-        [(st, tuple(trace)) for st, trace in payload["roots"]],
+        [tuple(entry) for entry in payload["roots"]],
         payload["layout"],
         payload["table"],
         payload["max_states"],
+        depth=payload.get("depth"),
+        reduce_sym=payload.get("reduce_sym", True),
+        reduce_por=payload.get("reduce_por", True),
     )
     return {
         "states": result.states,
         "transitions": result.transitions,
         "truncated": result.truncated,
         "violation": result.violation,
+        "sym_states": result.sym_states,
+        "pruned": result.pruned,
+        "max_depth": result.max_depth,
     }
 
 
@@ -817,19 +1095,37 @@ def check_model(
     max_states: int = 400_000,
     table: Optional[HandlerTable] = None,
     layout: Optional[DirectoryLayout] = None,
+    n_lines: int = 1,
+    depth: Optional[int] = None,
+    frontier_dir: Optional[str] = None,
+    reduce_sym: bool = True,
+    reduce_por: bool = True,
 ) -> ExploreResult:
-    """Exhaustively explore the n-node 1-line machine.
+    """Explore the n-node, L-line machine with sound reductions.
 
     With ``jobs > 1`` the BFS frontier is expanded inline until it has
     at least ``4 * jobs`` states, then partitioned round-robin across
     ``pool_map`` workers, each exploring its subtree with a private
     visited set (duplicated work across workers is possible; missed
-    states are not).
+    states are not).  With ``frontier_dir`` set the frontier lives on
+    disk instead, sharded wave-by-wave over the same worker pool and
+    kill-resumable (see :mod:`repro.analyze.frontier`).
+
+    ``reduce_sym``/``reduce_por`` exist so tests can compare the
+    reduced and flat explorations; production callers leave them on.
     """
-    if not 2 <= n_nodes <= 3:
-        raise ConfigError(f"model checker supports 2-3 nodes, not {n_nodes}")
+    if not 2 <= n_nodes <= MAX_NODES:
+        raise ConfigError(
+            f"model checker supports 2-{MAX_NODES} nodes, not {n_nodes}"
+        )
+    if not 1 <= n_lines <= MAX_LINES:
+        raise ConfigError(
+            f"model checker supports 1-{MAX_LINES} lines, not {n_lines}"
+        )
     if loads < 0 or stores < 0 or max_states <= 0:
         raise ConfigError("loads/stores must be >= 0, max_states > 0")
+    if depth is not None and depth <= 0:
+        raise ConfigError("depth must be > 0 when set")
     if table is None:
         from repro.protocol import extensions
 
@@ -839,32 +1135,73 @@ def check_model(
         layout = DirectoryLayout(
             local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
         )
+    for k in range(n_lines):
+        if layout.home_of(line_addr(k)) != 0:
+            raise ConfigError("model lines must all be homed at node 0")
 
-    init = initial_state(n_nodes, loads, stores)
+    init = initial_state(n_nodes, loads, stores, n_lines)
+
+    if frontier_dir is not None:
+        from repro.analyze.frontier import explore_disk
+
+        return explore_disk(
+            init, layout, table, frontier_dir,
+            jobs=max(1, jobs), max_states=max_states, depth=depth,
+            reduce_sym=reduce_sym, reduce_por=reduce_por,
+        )
+
     if jobs <= 1:
-        return _bfs([(init, ())], layout, table, max_states)
+        return _bfs(
+            [root_entry(init)], layout, table, max_states,
+            depth=depth, reduce_sym=reduce_sym, reduce_por=reduce_por,
+        )
 
     # Inline expansion until the frontier is wide enough to partition.
     visited = {init}
-    frontier: deque = deque([(init, ())])
+    frontier: deque = deque([root_entry(init)])
     transitions = 0
+    pruned = 0
+    sym_states = 1
     while frontier and len(frontier) < 4 * jobs and len(visited) < 4096:
-        st, trace = frontier.popleft()
+        st, trace, sig, lam = frontier.popleft()
+        if depth is not None and len(trace) >= depth:
+            frontier.append((st, trace, sig, lam))
+            break
         try:
-            succ = successors(st, layout, table)
+            succ, pr = expand(st, layout, table, por=reduce_por)
         except ModelViolation as exc:
-            label = getattr(exc, "label", "?")
+            label = sym.remap_label(getattr(exc, "label", "?"), sig, lam)
             return ExploreResult(
                 len(visited), transitions, False,
-                Violation(exc.code, exc.status, str(exc), trace + (label,)),
+                Violation(
+                    exc.code, exc.status,
+                    sym.remap_label(str(exc), sig, lam),
+                    trace + (label,),
+                ),
+                sym_states, pruned, len(trace) + 1,
             )
+        pruned += pr
         for label, nxt in succ:
             transitions += 1
-            if nxt not in visited:
-                visited.add(nxt)
-                frontier.append((nxt, trace + (label,)))
+            if reduce_sym:
+                cnxt, rho_s, rho_l, orbit = sym.canonicalize(nxt)
+            else:
+                cnxt, orbit = nxt, 1
+                rho_s = sym.identity(n_nodes)
+                rho_l = sym.identity(n_lines)
+            if cnxt not in visited:
+                visited.add(cnxt)
+                sym_states += orbit
+                frontier.append((
+                    cnxt,
+                    trace + (sym.remap_label(label, sig, lam),),
+                    sym.compose(sig, sym.invert(rho_s)),
+                    sym.compose(lam, sym.invert(rho_l)),
+                ))
     if not frontier:
-        return ExploreResult(len(visited), transitions, False, None)
+        return ExploreResult(
+            len(visited), transitions, False, None, sym_states, pruned, 0
+        )
 
     from repro.sim.sweep import pool_map
 
@@ -878,6 +1215,9 @@ def check_model(
                 "layout": layout,
                 "table": table,
                 "max_states": max_states,
+                "depth": depth,
+                "reduce_sym": reduce_sym,
+                "reduce_por": reduce_por,
             }))
     outcomes: List[Dict[str, object]] = []
 
@@ -889,6 +1229,7 @@ def check_model(
     states = len(visited)
     truncated = False
     violation: Optional[Violation] = None
+    max_depth = 0
     for outcome in outcomes:
         if outcome.get("_pool_status"):
             raise ConfigError(
@@ -896,13 +1237,19 @@ def check_model(
             )
         states += int(outcome["states"])
         transitions += int(outcome["transitions"])
+        sym_states += int(outcome["sym_states"])
+        pruned += int(outcome["pruned"])
+        max_depth = max(max_depth, int(outcome["max_depth"]))
         truncated = truncated or bool(outcome["truncated"])
         v = outcome["violation"]
         if v is not None and (
             violation is None or len(v.trace) < len(violation.trace)
         ):
             violation = v
-    return ExploreResult(states, transitions, truncated, violation)
+    return ExploreResult(
+        states, transitions, truncated, violation,
+        sym_states, pruned, max_depth,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -910,7 +1257,9 @@ def check_model(
 # ----------------------------------------------------------------------
 
 
-def counterexample_artifact(path, violation: Violation, n_nodes: int):
+def counterexample_artifact(
+    path, violation: Violation, n_nodes: int, n_lines: int = 1
+):
     """Write ``violation`` as a replayable fuzz artifact.
 
     The issue events in the trace become the op list (strictly
@@ -924,19 +1273,29 @@ def counterexample_artifact(path, violation: Violation, n_nodes: int):
     from repro.fuzz.campaign import FuzzCell
     from repro.fuzz.stress import FuzzOp, StressConfig
 
+    def op_line(action: str) -> int:
+        _, _, tail = action.partition(" L")
+        return int(tail) if tail.isdigit() else 0
+
     ops: List[FuzzOp] = []
+    per_line_count = [0] * max(1, n_lines)
     for step in violation.trace:
         node, _, action = step.partition(": ")
-        if action == "load":
-            ops.append(FuzzOp(int(node[1:]), "load", LINE))
-        elif action == "store":
-            ops.append(FuzzOp(int(node[1:]), "store", LINE, arg=len(ops) + 1))
+        if action.startswith("load"):
+            ops.append(FuzzOp(int(node[1:]), "load", line_addr(op_line(action))))
+        elif action.startswith("store"):
+            k = op_line(action)
+            per_line_count[k] += 1
+            ops.append(FuzzOp(
+                int(node[1:]), "store", line_addr(k), arg=per_line_count[k]
+            ))
     cell = FuzzCell(
         seed=0,
         model="base",
         n_nodes=n_nodes,
         stress=StressConfig(
-            n_ops=max(1, len(ops)), n_lines=1, max_outstanding=1
+            n_ops=max(1, len(ops)), n_lines=max(1, n_lines),
+            max_outstanding=1,
         ),
         max_cycles=500_000,
     )

@@ -1,0 +1,467 @@
+"""Reverted-fix handler tables for the five historical seed races.
+
+The model pass found five genuine races in the seed protocol
+(DESIGN.md section 6); every fix ships in ``protocol/handlers.py``.
+This module reconstructs, for each race, a handler table that behaves
+the way the seed did *before* that one fix landed — same header
+layout, same dispatch rows, only the fixed arm reverted — so the
+checker can be pointed at a protocol that is known-broken in a known
+way.
+
+The point (see ``tests/test_model_regressions.py``) is to re-run the
+*reduced* checker — symmetry canonicalization plus ample-set pruning —
+against each reverted table and confirm the counterexample is still
+found at n <= 3.  The soundness arguments in ``analyze/symmetry.py``
+and ``model.ample_probe`` say the reductions preserve every violation;
+these five tables are the empirical check that they preserve the
+violations this repo has actually shipped fixes for.
+
+Each :class:`SeedRace` records the smallest (nodes, lines, loads,
+stores) budget at which the reduced checker finds the violation,
+measured empirically, so the harness explores exactly that much and
+stays CI-affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol.handlers import (
+    HDR_SRC_SHIFT,
+    NODE_FIELD_MASK,
+    build_handler_table,
+    clear_bit,
+    compose_send,
+    dir_prologue,
+    inval_loop,
+)
+from repro.protocol.isa import (
+    HDR,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+    ZERO,
+    Handler,
+    HandlerBuilder,
+    HandlerTable,
+)
+
+
+def _reverted_table(*replacements: Handler) -> HandlerTable:
+    """The shipped table with ``replacements`` swapped in by name.
+
+    ``HandlerTable.place`` overwrites the by-name slot (the model
+    checker dispatches by name, so the stale by-pc alias of the fixed
+    handler is unreachable).
+    """
+    table = build_handler_table()
+    for handler in replacements:
+        assert handler.name in table, handler.name
+        table.place(handler)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Race 1: a PUT overtaking its XFER.
+#
+# Fix: h_put's foreign/"late" arm (protocol/handlers.py) accepts a PUT
+# from the *waiter* of a BUSY_* entry — the newly granted owner
+# evicted so fast its PUT overtook the old owner's XFER revision —
+# and resolves the transaction with an XFER debt.  The seed trapped on
+# any PUT whose writer was not the recorded owner.
+# ---------------------------------------------------------------------------
+
+
+def _h_put_seed_foreign_traps() -> Handler:
+    h = HandlerBuilder("h_put")
+    dir_prologue(h)
+    h.srli(T3, HDR, HDR_SRC_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.beqz(T5, "bad")  # seed: every non-owner PUT is a protocol error
+    h.memwr()
+    h.seqi(T5, T2, d.EXCLUSIVE)
+    h.bnez(T5, "stable")
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "absorb")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.bnez(T5, "absorb")
+    h.label("bad")
+    h.trap(1)
+    h.done()
+
+    h.label("absorb")
+    h.done()
+
+    h.label("stable")
+    h.st(ZERO, T0)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Race 2: a re-granted own-request erasing a waiter.
+#
+# Fix: h_upgrade only grants when the entry is SHARED *and* the
+# requester still appears in the sharer vector; anything else is
+# NACK_UPGRADE (resent as GETX).  The seed granted unconditionally, so
+# an UPGRADE that lost a race — the entry already EXCLUSIVE or BUSY
+# for a competing transaction — stomped the word with
+# EXCLUSIVE(owner=requester), erasing the recorded owner or waiter.
+# ---------------------------------------------------------------------------
+
+
+def _h_upgrade_unguarded() -> Handler:
+    h = HandlerBuilder("h_upgrade")
+    dir_prologue(h)
+    h.srli(T4, T1, d.VECTOR_SHIFT)
+    clear_bit(h, T4, T3)
+    h.popc(T1, T4)
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    compose_send(h, MsgType.UPGRADE_ACK, dest_reg=T3, req_reg=T3, acks_reg=T1)
+    inval_loop(h, T4, T3)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Race 3: stale INT/SWB arriving after a writeback.
+#
+# Fix: h_put's "absorb" arm keeps a BUSY_* entry parked and withholds
+# the WB_ACK so the INT_NACK trailing the PUT (same VN2 FIFO) still
+# finds the transaction and resolves it from the just-updated memory.
+# The seed acknowledged and cleared the entry immediately, leaving the
+# stale INT_NACK to arrive at a non-BUSY entry.
+# ---------------------------------------------------------------------------
+
+
+def _h_put_eager_wb_ack() -> Handler:
+    h = HandlerBuilder("h_put")
+    dir_prologue(h)
+    h.srli(T3, HDR, HDR_SRC_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.beqz(T5, "foreign")
+    h.memwr()
+    h.seqi(T5, T2, d.EXCLUSIVE)
+    h.bnez(T5, "stable")
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "stable")  # seed: mid-transaction PUT acked eagerly
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.bnez(T5, "stable")
+    h.trap(1)
+    h.done()
+
+    h.label("foreign")  # the late arm keeps its (independent) fix
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "late")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.beqz(T5, "bad")
+    h.label("late")
+    h.srli(T5, T1, d.WAITER_SHIFT)
+    h.andi(T5, T5, d.WAITER_MASK)
+    h.seq(T5, T5, T3)
+    h.beqz(T5, "bad")
+    h.memwr()
+    h.li(T5, 1)
+    h.slli(T5, T5, d.XFER_DEBT_SHIFT)
+    h.st(T5, T0)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    h.label("bad")
+    h.trap(1)
+    h.done()
+
+    h.label("stable")
+    h.st(ZERO, T0)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Race 4: WB_ACK never clearing the writeback buffer (network path).
+#
+# Fix: h_reply_wb_ack COMPLETEs into the MC like the other replies,
+# clearing the writeback buffer and releasing any miss parked behind
+# the PUT.  The seed's handler consumed the message without
+# completing, so the buffer entry — and every parked request behind it
+# — waited forever.
+# ---------------------------------------------------------------------------
+
+
+def _h_reply_wb_ack_no_complete() -> Handler:
+    h = HandlerBuilder("h_reply_wb_ack")
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# Race 5: stale-XFER ABA on reused busy entries.
+#
+# Fix: h_put's late arm records an XFER *debt* (directory bit 15);
+# h_get/h_getx NACK while it is set and h_xfer consumes it.  The seed
+# resolved the late PUT to plain UNOWNED, so the stale XFER was still
+# in flight when a *new* BUSY_EXCLUSIVE transaction with the same
+# waiter was parked on the reused entry — and resolved it early,
+# making the directory forget the real owner mid-transaction.
+# ---------------------------------------------------------------------------
+
+
+def _h_put_no_debt() -> Handler:
+    h = HandlerBuilder("h_put")
+    dir_prologue(h)
+    h.srli(T3, HDR, HDR_SRC_SHIFT)
+    h.andi(T3, T3, NODE_FIELD_MASK)
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.beqz(T5, "foreign")
+    h.memwr()
+    h.seqi(T5, T2, d.EXCLUSIVE)
+    h.bnez(T5, "stable")
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "absorb")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.bnez(T5, "absorb")
+    h.trap(1)
+    h.done()
+
+    h.label("absorb")
+    h.done()
+
+    h.label("foreign")
+    h.seqi(T5, T2, d.BUSY_SHARED)
+    h.bnez(T5, "late")
+    h.seqi(T5, T2, d.BUSY_EXCLUSIVE)
+    h.beqz(T5, "bad")
+    h.label("late")
+    h.srli(T5, T1, d.WAITER_SHIFT)
+    h.andi(T5, T5, d.WAITER_MASK)
+    h.seq(T5, T5, T3)
+    h.beqz(T5, "bad")
+    h.memwr()
+    h.st(ZERO, T0)  # seed: plain UNOWNED, no debt recorded
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    h.label("bad")
+    h.trap(1)
+    h.done()
+
+    h.label("stable")
+    h.st(ZERO, T0)
+    compose_send(h, MsgType.WB_ACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def _h_get_no_debt_check() -> Handler:
+    h = HandlerBuilder("h_get")
+    dir_prologue(h)
+    h.beqz(T2, "unowned")
+    h.seqi(T4, T2, d.SHARED)
+    h.bnez(T4, "shared")
+    h.seqi(T4, T2, d.EXCLUSIVE)
+    h.bnez(T4, "exclusive")
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("unowned")
+    h.slli(T4, T3, d.OWNER_SHIFT)
+    h.ori(T4, T4, d.EXCLUSIVE)
+    h.st(T4, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("shared")
+    h.addi(T4, T3, d.VECTOR_SHIFT)
+    h.li(T5, 1)
+    h.sllv(T5, T5, T4)
+    h.or_(T1, T1, T5)
+    h.st(T1, T0)
+    compose_send(h, MsgType.DATA_SHARED, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("exclusive")
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.bnez(T5, "own_req")
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_SHARED)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_SHARED, dest_reg=T4, req_reg=T3)
+    h.done()
+
+    h.label("own_req")
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def _h_getx_no_debt_check() -> Handler:
+    h = HandlerBuilder("h_getx")
+    dir_prologue(h)
+    h.beqz(T2, "unowned")
+    h.seqi(T4, T2, d.SHARED)
+    h.bnez(T4, "shared")
+    h.seqi(T4, T2, d.EXCLUSIVE)
+    h.bnez(T4, "exclusive")
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("unowned")
+    h.slli(T4, T3, d.OWNER_SHIFT)
+    h.ori(T4, T4, d.EXCLUSIVE)
+    h.st(T4, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+
+    h.label("shared")
+    h.srli(T4, T1, d.VECTOR_SHIFT)
+    clear_bit(h, T4, T3)
+    h.popc(T1, T4)
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3, acks_reg=T1)
+    inval_loop(h, T4, T3)
+    h.done()
+
+    h.label("exclusive")
+    h.srli(T4, T1, d.OWNER_SHIFT)
+    h.andi(T4, T4, d.OWNER_MASK)
+    h.seq(T5, T4, T3)
+    h.bnez(T5, "own_req")
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_EXCLUSIVE)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_EXCL, dest_reg=T4, req_reg=T3)
+    h.done()
+
+    h.label("own_req")
+    compose_send(h, MsgType.NACK, dest_reg=T3, req_reg=T3)
+    h.done()
+    return h.build()
+
+
+def _h_xfer_no_consume() -> Handler:
+    h = HandlerBuilder("h_xfer")
+    dir_prologue(h)
+    h.seqi(T4, T2, d.BUSY_EXCLUSIVE)
+    h.beqz(T4, "stale")
+    h.srli(T4, T1, d.WAITER_SHIFT)
+    h.andi(T4, T4, d.WAITER_MASK)
+    h.seq(T4, T4, T3)
+    h.beqz(T4, "stale")
+    h.slli(T5, T3, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.EXCLUSIVE)
+    h.st(T5, T0)
+    h.done()
+    h.label("stale")
+    h.done()
+    return h.build()
+
+
+# ---------------------------------------------------------------------------
+# The registry the harness iterates.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeedRace:
+    """One historical race: its reverted table + smallest finding budget."""
+
+    key: str
+    title: str
+    #: Where the shipped fix lives (for the reader chasing the diff).
+    fix: str
+    #: Violation codes that count as re-detection of this race.
+    expect_codes: Tuple[str, ...]
+    n_nodes: int
+    loads: int
+    stores: int
+    n_lines: int = 1
+    max_states: int = 100_000
+
+    def build_table(self) -> HandlerTable:
+        return _reverted_table(*_BUILDERS[self.key]())
+
+
+_BUILDERS = {
+    "put-overtakes-xfer": lambda: (_h_put_seed_foreign_traps(),),
+    "upgrade-erases-waiter": lambda: (_h_upgrade_unguarded(),),
+    "stale-int-after-wb": lambda: (_h_put_eager_wb_ack(),),
+    "wb-ack-no-complete": lambda: (_h_reply_wb_ack_no_complete(),),
+    "stale-xfer-aba": lambda: (
+        _h_put_no_debt(),
+        _h_get_no_debt_check(),
+        _h_getx_no_debt_check(),
+        _h_xfer_no_consume(),
+    ),
+}
+
+
+SEED_RACES: Tuple[SeedRace, ...] = (
+    SeedRace(
+        "put-overtakes-xfer",
+        "a PUT overtaking its XFER",
+        fix="handlers.build_h_put (foreign/late arm)",
+        expect_codes=("trap",),
+        n_nodes=2, loads=0, stores=1,
+    ),
+    SeedRace(
+        "upgrade-erases-waiter",
+        "a re-granted own-request erasing a waiter",
+        fix="handlers.build_h_upgrade (SHARED + sharer-bit guards)",
+        expect_codes=("trap", "swmr", "data-value"),
+        n_nodes=2, loads=1, stores=1,
+    ),
+    SeedRace(
+        "stale-int-after-wb",
+        "stale INT/SWB arriving after a writeback",
+        fix="handlers.build_h_put (absorb arm withholds WB_ACK)",
+        expect_codes=("trap",),
+        n_nodes=2, loads=1, stores=1,
+    ),
+    SeedRace(
+        "wb-ack-no-complete",
+        "WB_ACK never clearing the writeback buffer",
+        fix="handlers.build_h_reply_wb_ack (complete())",
+        expect_codes=("stuck",),
+        n_nodes=2, loads=0, stores=1,
+    ),
+    SeedRace(
+        "stale-xfer-aba",
+        "a stale-XFER ABA on reused busy entries",
+        fix="handlers xfer-debt bit (h_put late arm / h_get / h_getx "
+            "/ h_xfer consume)",
+        expect_codes=("trap", "swmr", "data-value"),
+        n_nodes=3, loads=0, stores=2, max_states=600_000,
+    ),
+)
+
+
+def find_race(key: str) -> Optional[SeedRace]:
+    for race in SEED_RACES:
+        if race.key == key:
+            return race
+    return None

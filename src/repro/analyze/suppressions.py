@@ -13,6 +13,11 @@ Suppressions match on (pass, code, handler) plus, optionally, the
 enumerated directory-state label, so a *new* trap path in a handler
 with an existing suppression still surfaces unless its exact pair is
 listed.
+
+The list cannot rot: :meth:`repro.analyze.findings.Report.
+apply_suppressions` reports any entry that matched no finding as a
+``stale-suppression`` error finding (exit 1), so a fixed or renamed
+finding forces the dead entry to be deleted along with it.
 """
 
 from __future__ import annotations

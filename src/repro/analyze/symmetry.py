@@ -1,0 +1,269 @@
+"""Symmetry reduction for the protocol model checker.
+
+The model machine (:mod:`repro.analyze.model`) is fully symmetric
+under renaming of the *non-home* nodes: every node boots the same
+handler table with the same issue budgets, and the invariants (SWMR,
+data value, stuck states, directory health) are closed under node
+renaming.  The home node is **not** interchangeable — it holds the
+directory entries and its local-miss traffic takes the LMI queue
+instead of the network — so the symmetry group is ``Sym({1..n-1})``,
+of size ``(n-1)!``, not ``Sym(n)``.  Lines are interchangeable too
+(same home, same budgets, independent versions), contributing a
+further ``L!`` factor.
+
+A permutation must be applied *consistently* to every node-indexed
+piece of state:
+
+* the per-node records themselves (cache arrays, MSHRs, queues),
+* src/dest/requester fields inside every in-flight message
+  (including messages parked in MSHR ``deferred`` queues),
+* the channel matrix (``chan[s][d]`` moves to ``chan[σs][σd]``),
+* directory entries (owner and waiter fields, sharer bit-vectors).
+
+:func:`canonicalize` maps a state to the lexicographically smallest
+member of its orbit; only canonical representatives enter the visited
+set.  Soundness: the symmetry group maps the initial state to itself
+and commutes with the transition relation (no handler reads a node id
+except through state that is itself permuted), so every member of a
+reachable orbit is reachable and violates the same invariants.  The
+congruence is enforced by hypothesis property tests
+(``tests/test_model_reduction.py``), not just argued here.
+
+Counterexample traces stay replayable by tracking frames: each BFS
+entry carries the permutation mapping its canonical frame back to the
+original machine's frame, composed at every canonicalization step
+(:func:`compose`, :func:`invert`), and transition labels are remapped
+through it (:func:`remap_label`) before they are recorded.
+"""
+
+from __future__ import annotations
+
+import re
+from itertools import permutations
+from typing import Dict, List, Tuple
+
+from repro.protocol import directory as d
+
+Perm = Tuple[int, ...]
+
+_NODE_PERMS: Dict[int, Tuple[Perm, ...]] = {}
+_LINE_PERMS: Dict[int, Tuple[Perm, ...]] = {}
+
+
+def node_perms(n_nodes: int) -> Tuple[Perm, ...]:
+    """All node renamings fixing the home node 0 (``σ[old] = new``)."""
+    if n_nodes not in _NODE_PERMS:
+        _NODE_PERMS[n_nodes] = tuple(
+            (0,) + p for p in permutations(range(1, n_nodes))
+        )
+    return _NODE_PERMS[n_nodes]
+
+
+def line_perms(n_lines: int) -> Tuple[Perm, ...]:
+    """All line renamings (``λ[old] = new``)."""
+    if n_lines not in _LINE_PERMS:
+        _LINE_PERMS[n_lines] = tuple(permutations(range(n_lines)))
+    return _LINE_PERMS[n_lines]
+
+
+def identity(n: int) -> Perm:
+    return tuple(range(n))
+
+
+def invert(p: Perm) -> Perm:
+    inv = [0] * len(p)
+    for i, v in enumerate(p):
+        inv[v] = i
+    return tuple(inv)
+
+
+def compose(a: Perm, b: Perm) -> Perm:
+    """The permutation ``x -> a[b[x]]`` (apply ``b``, then ``a``)."""
+    return tuple(a[b[x]] for x in range(len(b)))
+
+
+# ----------------------------------------------------------------------
+# Applying a permutation to model state
+# ----------------------------------------------------------------------
+
+
+def permute_entry(entry: int, sigma: Perm) -> int:
+    """Rename the node-valued fields of a directory entry.
+
+    The handlers only ever write entries whose owner/waiter fields are
+    real node ids (or 0 for states that do not use them — and
+    ``σ(0) = 0`` because the home is fixed), so a full decode/encode
+    round-trip is exact.  The xfer-debt flag carries no node id and is
+    preserved bit-for-bit.
+    """
+    state = d.state_of(entry)
+    vector = d.vector_of(entry)
+    new_vector = 0
+    bit = 0
+    while vector:
+        if vector & 1:
+            new_vector |= 1 << sigma[bit]
+        vector >>= 1
+        bit += 1
+    out = d.encode(
+        state,
+        owner=sigma[d.owner_of(entry)],
+        waiter=sigma[d.waiter_of(entry)],
+        vector=new_vector,
+    )
+    if d.xfer_debt(entry):
+        out |= 1 << d.XFER_DEBT_SHIFT
+    return out
+
+
+def permute_msg(msg, sigma: Perm, lam: Perm):
+    return msg._replace(
+        src=sigma[msg.src],
+        dest=sigma[msg.dest],
+        requester=sigma[msg.requester],
+        line=lam[msg.line],
+    )
+
+
+def permute_mshr(mshr, sigma: Perm, lam: Perm):
+    if mshr is None or not mshr.deferred:
+        return mshr
+    return mshr._replace(
+        deferred=tuple(permute_msg(m, sigma, lam) for m in mshr.deferred)
+    )
+
+
+def _reindex(values: Tuple, lam: Perm) -> Tuple:
+    out = [None] * len(lam)
+    for old, value in enumerate(values):
+        out[lam[old]] = value
+    return tuple(out)
+
+
+def permute_node(node, sigma: Perm, lam: Perm):
+    return node._replace(
+        caches=_reindex(node.caches, lam),
+        versions=_reindex(node.versions, lam),
+        mshrs=_reindex(
+            tuple(permute_mshr(m, sigma, lam) for m in node.mshrs), lam
+        ),
+        wb_pending=_reindex(node.wb_pending, lam),
+        probes=tuple(permute_msg(m, sigma, lam) for m in node.probes),
+        lmi=tuple(permute_msg(m, sigma, lam) for m in node.lmi),
+    )
+
+
+def permute_state(st, sigma: Perm, lam: Perm):
+    n = len(st.nodes)
+    nodes: List = [None] * n
+    for old, node in enumerate(st.nodes):
+        nodes[sigma[old]] = permute_node(node, sigma, lam)
+    chans: List[Tuple] = [()] * (n * n * 3)
+    for s in range(n):
+        for dst in range(n):
+            for vn in range(3):
+                q = st.chans[(s * n + dst) * 3 + vn]
+                if q:
+                    chans[(sigma[s] * n + sigma[dst]) * 3 + vn] = tuple(
+                        permute_msg(m, sigma, lam) for m in q
+                    )
+    return st._replace(
+        nodes=tuple(nodes),
+        entries=_reindex(
+            tuple(permute_entry(e, sigma) for e in st.entries), lam
+        ),
+        mems=_reindex(st.mems, lam),
+        mem_sets=_reindex(st.mem_sets, lam),
+        counts=_reindex(st.counts, lam),
+        chans=tuple(chans),
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical representatives
+# ----------------------------------------------------------------------
+
+
+def _msg_key(m) -> Tuple:
+    return tuple(m)
+
+
+def _mshr_key(m) -> Tuple:
+    if m is None:
+        return ()
+    return (
+        m.kind, m.request_upgrade, m.upgrade_pending, m.data_arrived,
+        m.writable, m.version, m.pending_acks, m.inval_after_fill,
+        m.stores, tuple(_msg_key(x) for x in m.deferred), m.unissued,
+    )
+
+
+def state_key(st) -> Tuple:
+    """A totally ordered primitive encoding of a state.
+
+    ``MState`` tuples cannot be compared directly (``mshrs`` mixes
+    ``None`` and ``MShr``), so orbit minimization orders states by
+    this key instead.  Equal keys iff equal states.
+    """
+    return (
+        tuple(
+            (
+                n.caches, n.versions,
+                tuple(_mshr_key(m) for m in n.mshrs),
+                tuple(_msg_key(m) for m in n.probes),
+                tuple(_msg_key(m) for m in n.lmi),
+                n.loads, n.stores, n.wb_pending,
+            )
+            for n in st.nodes
+        ),
+        st.entries, st.mems, st.mem_sets, st.counts,
+        tuple(tuple(_msg_key(m) for m in q) for q in st.chans),
+    )
+
+
+def canonicalize(st) -> Tuple[object, Perm, Perm, int]:
+    """Return ``(canonical_state, σ, λ, orbit_size)``.
+
+    ``σ``/``λ`` map the *input* frame to the canonical frame
+    (``canonical = permute_state(st, σ, λ)``); ``orbit_size`` is the
+    number of distinct states in the symmetry orbit — summing it over
+    visited canonical states recovers the size of the symmetry-closed
+    state set the canonical set represents.
+    """
+    n = len(st.nodes)
+    n_lines = len(st.entries)
+    best = st
+    best_key = state_key(st)
+    best_sigma = identity(n)
+    best_lam = identity(n_lines)
+    seen = {best_key}
+    for sigma in node_perms(n):
+        for lam in line_perms(n_lines):
+            if sigma is not None and sigma == best_sigma and lam == best_lam:
+                continue
+            v = permute_state(st, sigma, lam)
+            k = state_key(v)
+            seen.add(k)
+            if k < best_key:
+                best, best_key, best_sigma, best_lam = v, k, sigma, lam
+    return best, best_sigma, best_lam, len(seen)
+
+
+# ----------------------------------------------------------------------
+# Trace frames
+# ----------------------------------------------------------------------
+
+_NODE_RE = re.compile(r"\bn(\d+)\b")
+_LINE_RE = re.compile(r"\bL(\d+)\b")
+_NODE_WORD_RE = re.compile(r"\bnode (\d+)\b")
+
+
+def remap_label(label: str, sigma: Perm, lam: Perm) -> str:
+    """Rewrite node/line ids embedded in a transition label or
+    violation message from the canonical frame into ``sigma``/``lam``'s
+    image frame (used with the accumulated canonical→original map)."""
+    label = _NODE_RE.sub(lambda m: f"n{sigma[int(m.group(1))]}", label)
+    label = _NODE_WORD_RE.sub(
+        lambda m: f"node {sigma[int(m.group(1))]}", label
+    )
+    return _LINE_RE.sub(lambda m: f"L{lam[int(m.group(1))]}", label)

@@ -178,9 +178,11 @@ class TestModelPass:
         from repro.common.errors import ConfigError
 
         with pytest.raises(ConfigError):
-            check_model(n_nodes=5)
+            check_model(n_nodes=7)
         with pytest.raises(ConfigError):
             check_model(n_nodes=2, loads=-1)
+        with pytest.raises(ConfigError):
+            check_model(n_nodes=2, n_lines=4)
 
     def test_state_cap_reports_truncation(self):
         result = check_model(n_nodes=2, loads=1, stores=1, jobs=1,

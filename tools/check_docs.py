@@ -13,9 +13,9 @@ flags argparse actually advertises:
    external allowlist, e.g. pytest flags quoted in examples).
 
 2. **No undocumented operator flags** — every flag of ``sweep`` and
-   ``fuzz`` must be mentioned in ``docs/sweep-service.md``, the
-   operator's manual.  (``analyze`` flags are checked in direction 1
-   only; its reference lives in ``docs/handlers.md`` prose.)
+   ``fuzz`` must be mentioned in ``docs/sweep-service.md``, and every
+   flag of ``analyze`` in ``docs/analyze.md`` (the verifier's
+   manual).  Each manual owns its commands' full flag sets.
 
 The same two directions are enforced for ``REPRO_*`` environment
 flags (the execution-mode escape hatches and bench knobs):
@@ -44,15 +44,18 @@ REPO = Path(__file__).resolve().parent.parent
 # Doc file -> repro subcommands whose flags it may legitimately cite.
 DOC_COMMANDS = {
     "docs/sweep-service.md": ("sweep", "fuzz"),
+    "docs/analyze.md": ("analyze", "fuzz", "sweep"),
     "docs/architecture.md": ("run", "sweep", "fuzz", "analyze"),
     "EXPERIMENTS.md": ("run", "sweep", "fuzz", "analyze"),
     "README.md": ("run", "sweep", "fuzz", "analyze"),
 }
 
-# Operator's-manual completeness: these commands' full flag sets must
-# appear in docs/sweep-service.md.
-MANUAL_DOC = "docs/sweep-service.md"
-MANUAL_COMMANDS = ("sweep", "fuzz")
+# Manual completeness: each manual must mention the full flag set of
+# the commands it owns.
+MANUALS = {
+    "docs/sweep-service.md": ("sweep", "fuzz"),
+    "docs/analyze.md": ("analyze",),
+}
 
 # Flags of *other* tools that docs may quote in examples.
 ALLOWED_EXTERNAL = {
@@ -120,16 +123,18 @@ def main() -> int:
                 f"({', '.join(commands)}) advertises in --help"
             )
 
-    # Direction 2: the operator's manual covers every sweep/fuzz flag.
-    manual = REPO / MANUAL_DOC
-    if manual.exists():
+    # Direction 2: each manual covers its commands' full flag sets.
+    for manual_rel, manual_commands in MANUALS.items():
+        manual = REPO / manual_rel
+        if not manual.exists():
+            continue  # direction 1 already reported the missing doc
         documented = doc_flags(manual)
-        for cmd in MANUAL_COMMANDS:
+        for cmd in manual_commands:
             for flag in sorted(flags_for((cmd,)) - documented):
                 if flag in ALLOWED_EXTERNAL:
                     continue
                 problems.append(
-                    f"{MANUAL_DOC}: `{cmd}` flag {flag} is live in "
+                    f"{manual_rel}: `{cmd}` flag {flag} is live in "
                     f"--help but undocumented"
                 )
 
