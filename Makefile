@@ -4,7 +4,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze model-deep lint docs-check
+.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze analyze-all model-deep lint docs-check
 
 # Tier-1 gate: the full unit/integration/property suite, then the
 # protocol verifier (static + dispatch + exhaustive small model).
@@ -17,6 +17,21 @@ test tier1:
 # and the exhaustive 2-node small-model check. Exit 1 = findings.
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS)
+
+# Per-protocol verifier: every registered coherence bundle must pass
+# all three passes (see docs/protocols.md).  The MSI baseline is
+# model-checked exhaustively at both 2 and 3 nodes (the 3-node run
+# uses the store-only issue alphabet, like `model-deep`, to stay
+# CI-affordable under the reduced search).
+analyze-all:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS) \
+		--protocol smtp-bitvector
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS) \
+		--protocol msi
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS) \
+		--protocol msi --nodes 3 --loads 0 --stores 1
+	PYTHONPATH=src $(PYTHON) -m repro analyze --jobs $(JOBS) \
+		--protocol migratory
 
 # Deep model-checking sweep: the larger machines the reduced checker
 # (symmetry + ample sets, docs/analyze.md) makes CI-affordable.

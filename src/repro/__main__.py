@@ -82,9 +82,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     try:
         if args.grid:
+            if args.protocol:
+                print(
+                    "error: --protocol does not combine with --grid "
+                    "(named grids fix their own protocol cells)",
+                    file=sys.stderr,
+                )
+                return 2
             cells = NAMED_GRIDS[args.grid]()
             name = args.name or args.grid
         else:
+            # Only non-default protocols ride in the cell flags, so
+            # default sweeps keep their historical cache and gate keys.
+            extra = {"protocol": args.protocol} if args.protocol else {}
             cells = make_grid(
                 args.apps.split(","),
                 args.models.split(","),
@@ -92,6 +102,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ways=[int(w) for w in args.ways.split(",")],
                 freq_ghz=args.freq,
                 preset=args.preset,
+                **extra,
             )
             name = args.name or "sweep"
         for c in cells:
@@ -154,6 +165,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
          "cpu s", "cyc/s"],
         rows,
     ))
+
+    from repro.sim.report import protocol_comparison_table
+
+    comparison = protocol_comparison_table(results)
+    if comparison is not None:
+        print("\ncross-protocol comparison (same cell, different bundle):")
+        print(comparison)
 
     baseline = None
     if args.gate:
@@ -244,12 +262,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     import time
 
     if args.replay:
+        from repro.common.errors import ConfigError as _ConfigError
         from repro.fuzz.artifact import replay_artifact
 
         try:
             reproduced, failure, ops = replay_artifact(
-                args.replay, use_shrunk=not args.full_ops
+                args.replay, use_shrunk=not args.full_ops,
+                protocol=args.protocol,
             )
+        except _ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: cannot replay {args.replay}: {exc!r}",
                   file=sys.stderr)
@@ -290,6 +313,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                     sharing=sharings[i % len(sharings)],
                 ),
                 faults=faults,
+                protocol=args.protocol or "smtp-bitvector",
             )
             for i in range(args.seeds)
         ]
@@ -350,11 +374,9 @@ def _cmd_apps(args: argparse.Namespace) -> int:
 
 
 def _cmd_handlers(args: argparse.Namespace) -> int:
-    from repro.protocol import extensions
-    from repro.protocol.handlers import build_handler_table
+    from repro.protocol import registry
 
-    table = build_handler_table()
-    extensions.install(table)
+    table = registry.get(args.protocol).build_table()
     if args.name:
         handler = table[args.name]
         print(f"{handler.name} @ {handler.pc:#x} ({len(handler)} instructions)")
@@ -458,6 +480,11 @@ def main(argv=None) -> int:
                          metavar="CYCLES",
                          help="cycles between worker checkpoints "
                               "(REPRO_NO_CKPT=1 disables checkpointing)")
+    sweep_p.add_argument("--protocol", default=None, metavar="NAME",
+                         help="run every cell of an axis-built grid on "
+                              "this registered coherence bundle (see "
+                              "`repro analyze --protocol`; default: the "
+                              "machine default, smtp-bitvector)")
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     fuzz_p = sub.add_parser(
@@ -503,6 +530,11 @@ def main(argv=None) -> int:
     fuzz_p.add_argument("--full-ops", action="store_true",
                         help="with --replay: use the full op list, "
                              "not the shrunk one")
+    fuzz_p.add_argument("--protocol", default=None, metavar="NAME",
+                        help="registered coherence bundle to fuzz "
+                             "(default smtp-bitvector); with --replay, "
+                             "asserts the artifact's recorded protocol "
+                             "and errors on a mismatch")
     fuzz_p.set_defaults(fn=_cmd_fuzz)
 
     sub.add_parser("models", help="list machine models").set_defaults(fn=_cmd_models)
@@ -510,6 +542,10 @@ def main(argv=None) -> int:
 
     handlers_p = sub.add_parser("handlers", help="show protocol handlers")
     handlers_p.add_argument("--name", help="disassemble one handler")
+    handlers_p.add_argument("--protocol", default="smtp-bitvector",
+                            metavar="NAME",
+                            help="registered coherence bundle to show "
+                                 "(default smtp-bitvector)")
     handlers_p.set_defaults(fn=_cmd_handlers)
 
     from repro.analyze.cli import add_analyze_parser

@@ -503,19 +503,32 @@ class HandlerAnalysis:
 # ----------------------------------------------------------------------
 
 
-def handler_side(name: str) -> str:
-    """Which engine runs this handler: home, probed, or requester."""
+def handler_side(name: str, bundle=None) -> str:
+    """Which engine runs this handler: home, probed, or requester.
+
+    ``bundle`` is a :class:`repro.protocol.registry.ProtocolBundle`
+    whose dispatch tables classify the handler; None falls back to the
+    default protocol's module-level tables.
+    """
     from repro.protocol.handlers import (
         LOCAL_REMOTE_DISPATCH,
         NETWORK_DISPATCH,
         PROBE_DISPATCH,
     )
 
-    if name in PROBE_DISPATCH.values():
+    if bundle is None:
+        probe, local_remote, network = (
+            PROBE_DISPATCH, LOCAL_REMOTE_DISPATCH, NETWORK_DISPATCH,
+        )
+    else:
+        probe = bundle.probe_dispatch
+        local_remote = bundle.local_remote_dispatch
+        network = bundle.network_dispatch
+    if name in probe.values():
         return "probed"
-    if name in LOCAL_REMOTE_DISPATCH.values():
+    if name in local_remote.values():
         return "requester"
-    for mtype, target in NETWORK_DISPATCH.items():
+    for mtype, target in network.items():
         if target != name:
             continue
         if virtual_network(mtype) == 1:
@@ -530,6 +543,7 @@ def run_static_pass(
     table,
     layout: Optional[DirectoryLayout] = None,
     vector_width: int = 32,
+    bundle=None,
 ) -> Tuple[List[Finding], List[Dict[str, object]]]:
     """Run the static pass over every handler in ``table``.
 
@@ -545,7 +559,7 @@ def run_static_pass(
         handler = table[name]
         analysis = HandlerAnalysis(handler, layout).run(vector_width)
         findings.extend(analysis.findings)
-        side = handler_side(name)
+        side = handler_side(name, bundle)
         wc = analysis.worst_case
         inventory.append(
             {

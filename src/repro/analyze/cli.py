@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.common.errors import ConfigError
+from repro.protocol import registry
 from repro.protocol.directory import DirectoryLayout
 
 from repro.analyze.findings import Finding, Report, SEV_INFO, format_report
@@ -32,6 +33,13 @@ def add_analyze_parser(sub) -> None:
         ),
     )
     p.add_argument("--json", action="store_true", help="emit a JSON report")
+    p.add_argument(
+        "--protocol", default=registry.DEFAULT_PROTOCOL,
+        choices=registry.names(), metavar="NAME",
+        help="registered protocol bundle to verify (one of: "
+        + ", ".join(registry.names())
+        + f"; default {registry.DEFAULT_PROTOCOL})",
+    )
     p.add_argument(
         "--nodes", "--max-nodes", dest="nodes", type=int, default=2,
         metavar="N",
@@ -122,12 +130,16 @@ def update_bench_model(path: str, row: dict) -> None:
 
     Rows are keyed by configuration slug so re-running one
     configuration refreshes only its own row (mirroring the
-    BENCH_smoke.json per-cell convention).
+    BENCH_smoke.json per-cell convention).  Non-default protocols get
+    their own rows; the default keeps its historical key.
     """
     key = (
         f"n{row['nodes']}-L{row['lines']}"
         f"-loads{row['loads']}-stores{row['stores']}"
     )
+    protocol = row.get("protocol", registry.DEFAULT_PROTOCOL)
+    if protocol != registry.DEFAULT_PROTOCOL:
+        key += f"-{protocol}"
     target = Path(path)
     doc = {"schema": 1, "configs": {}}
     if target.exists():
@@ -148,24 +160,24 @@ def build_report(
     depth: Optional[int] = None,
     frontier_dir: Optional[str] = None,
     bench_model: Optional[str] = None,
+    protocol: str = registry.DEFAULT_PROTOCOL,
 ) -> Report:
-    """Run all passes over the real (extension-installed) table."""
-    from repro.protocol import extensions
-    from repro.protocol.handlers import build_handler_table
-
+    """Run all passes over one registered bundle's installed table."""
     from repro.analyze.absint import run_static_pass
     from repro.analyze.dispatch import run_dispatch_pass
     from repro.analyze.model import check_model, counterexample_artifact
-    from repro.analyze.suppressions import SUPPRESSIONS
+    from repro.analyze.suppressions import suppressions_for
 
-    table = build_handler_table()
-    extensions.install(table)
+    bundle = registry.get(protocol)
+    suppressions = suppressions_for(protocol)
+    table = bundle.build_table()
     layout = DirectoryLayout(
         local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
     )
     report = Report()
+    report.stats["protocol"] = protocol
 
-    findings, inventory = run_static_pass(table, layout)
+    findings, inventory = run_static_pass(table, layout, bundle=bundle)
     report.extend(findings)
     report.inventory = inventory
     report.stats["static"] = {
@@ -178,7 +190,9 @@ def build_report(
         for row in inventory
         if row["worst_case"] is not None
     }
-    findings, stats = run_dispatch_pass(table, layout, worst_cases=worst)
+    findings, stats = run_dispatch_pass(
+        table, layout, worst_cases=worst, bundle=bundle
+    )
     report.extend(findings)
     report.stats["dispatch"] = stats
 
@@ -188,6 +202,7 @@ def build_report(
             n_nodes=max_nodes, loads=loads, stores=stores, jobs=jobs,
             max_states=max_states, table=table, layout=layout,
             n_lines=n_lines, depth=depth, frontier_dir=frontier_dir,
+            protocol=protocol,
         )
         seconds = time.perf_counter() - t0
         report.stats["model"] = {
@@ -206,6 +221,7 @@ def build_report(
                 {
                     "nodes": max_nodes, "lines": n_lines,
                     "loads": loads, "stores": stores,
+                    "protocol": protocol,
                 },
                 result, seconds,
             ))
@@ -218,7 +234,7 @@ def build_report(
             if artifacts_dir is not None:
                 path = counterexample_artifact(
                     Path(artifacts_dir) / f"model_{v.code}.json", v,
-                    max_nodes, n_lines,
+                    max_nodes, n_lines, protocol=protocol,
                 )
                 detail["artifact"] = str(path)
             report.add(Finding(
@@ -236,23 +252,26 @@ def build_report(
                 severity=SEV_INFO,
             ))
 
-    report.apply_suppressions(SUPPRESSIONS)
+    report.apply_suppressions(suppressions)
     return report
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     try:
         if args.write_inventory is not None:
-            from repro.protocol import extensions
-            from repro.protocol.handlers import build_handler_table
-
             from repro.analyze.absint import run_static_pass
             from repro.analyze.inventory import write_inventory
 
-            table = build_handler_table()
-            extensions.install(table)
-            _, inventory = run_static_pass(table)
-            path = write_inventory(args.write_inventory, inventory)
+            bundle = registry.get(args.protocol)
+            table = bundle.build_table()
+            _, inventory = run_static_pass(table, bundle=bundle)
+            target = args.write_inventory
+            if (target == "docs/handlers.md"
+                    and args.protocol != registry.DEFAULT_PROTOCOL):
+                # Unnamed target + non-default bundle: keep the default
+                # protocol's committed inventory intact.
+                target = f"docs/handlers-{args.protocol}.md"
+            path = write_inventory(target, inventory, protocol=args.protocol)
             print(f"wrote {path}")
             return 0
         report = build_report(
@@ -267,6 +286,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             depth=args.depth,
             frontier_dir=args.frontier_dir,
             bench_model=args.bench_model,
+            protocol=args.protocol,
         )
     except ConfigError as exc:
         print(f"analyze: {exc}", file=sys.stderr)

@@ -156,16 +156,30 @@ def run_dispatch_pass(
     table: HandlerTable,
     layout: Optional[DirectoryLayout] = None,
     worst_cases: Optional[Dict[str, int]] = None,
+    bundle=None,
 ) -> Tuple[List[Finding], Dict[str, object]]:
     """Run the full dispatch-completeness pass.
 
     ``worst_cases`` maps handler name to the static pass's bound; when
-    given, every enumeration run is checked against it.
+    given, every enumeration run is checked against it.  ``bundle``
+    selects whose dispatch tables are analyzed (a
+    :class:`repro.protocol.registry.ProtocolBundle`); None analyzes
+    the default protocol's module-level tables.
     """
     if layout is None:
         layout = DirectoryLayout(
             local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
         )
+    if bundle is None:
+        network, local_home, local_remote, probe = (
+            NETWORK_DISPATCH, LOCAL_HOME_DISPATCH,
+            LOCAL_REMOTE_DISPATCH, PROBE_DISPATCH,
+        )
+    else:
+        network = bundle.network_dispatch
+        local_home = bundle.local_home_dispatch
+        local_remote = bundle.local_remote_dispatch
+        probe = bundle.probe_dispatch
     findings: List[Finding] = []
     stats: Dict[str, object] = {}
 
@@ -173,7 +187,7 @@ def run_dispatch_pass(
     for mtype in MsgType:
         if mtype is MsgType.L2_PROBE_REPLY:
             continue
-        if mtype not in NETWORK_DISPATCH:
+        if mtype not in network:
             findings.append(Finding(
                 "dispatch", "unhandled-message", "",
                 f"MsgType.{mtype.name} has no NETWORK_DISPATCH row: the "
@@ -181,7 +195,7 @@ def run_dispatch_pass(
                 detail={"msg": mtype.name},
             ))
     for mtype in _REQUEST_TYPES:
-        if mtype not in LOCAL_REMOTE_DISPATCH:
+        if mtype not in local_remote:
             findings.append(Finding(
                 "dispatch", "unhandled-message", "",
                 f"request MsgType.{mtype.name} has no LOCAL_REMOTE_DISPATCH "
@@ -189,7 +203,7 @@ def run_dispatch_pass(
                 detail={"msg": mtype.name, "map": "LOCAL_REMOTE_DISPATCH"},
             ))
     for mtype in (*_REQUEST_TYPES, MsgType.PUT):
-        if mtype not in LOCAL_HOME_DISPATCH:
+        if mtype not in local_home:
             findings.append(Finding(
                 "dispatch", "unhandled-message", "",
                 f"locally-originated MsgType.{mtype.name} has no "
@@ -197,7 +211,7 @@ def run_dispatch_pass(
                 detail={"msg": mtype.name, "map": "LOCAL_HOME_DISPATCH"},
             ))
     for mtype in _PROBE_KINDS:
-        if mtype not in PROBE_DISPATCH:
+        if mtype not in probe:
             findings.append(Finding(
                 "dispatch", "unhandled-message", "",
                 f"probe kind MsgType.{mtype.name} has no PROBE_DISPATCH "
@@ -208,10 +222,10 @@ def run_dispatch_pass(
     # Dispatch targets must exist in the placed table.
     dispatched: Dict[str, str] = {}
     for map_name, mapping in (
-        ("NETWORK_DISPATCH", NETWORK_DISPATCH),
-        ("LOCAL_HOME_DISPATCH", LOCAL_HOME_DISPATCH),
-        ("LOCAL_REMOTE_DISPATCH", LOCAL_REMOTE_DISPATCH),
-        ("PROBE_DISPATCH", PROBE_DISPATCH),
+        ("NETWORK_DISPATCH", network),
+        ("LOCAL_HOME_DISPATCH", local_home),
+        ("LOCAL_REMOTE_DISPATCH", local_remote),
+        ("PROBE_DISPATCH", probe),
     ):
         for mtype, name in mapping.items():
             dispatched.setdefault(name, map_name)
@@ -235,10 +249,10 @@ def run_dispatch_pass(
     # --- (state x msg) functional enumeration --------------------------
     pairs = 0
     worst_cases = worst_cases or {}
-    for mtype, name in sorted(NETWORK_DISPATCH.items(), key=lambda kv: kv[0].name):
+    for mtype, name in sorted(network.items(), key=lambda kv: kv[0].name):
         if name not in table:
             continue  # already reported as missing-handler
-        side = handler_side(name)
+        side = handler_side(name, bundle)
         if side == "home":
             runs: List[Tuple[str, Message, Optional[int]]] = []
             for label, entry in _entry_variants():
@@ -277,7 +291,7 @@ def run_dispatch_pass(
                 ))
     # Probe-done handlers are reached via PROBE_DISPATCH, not
     # NETWORK_DISPATCH; enumerate their found/dirty headers too.
-    for kind, name in sorted(PROBE_DISPATCH.items(), key=lambda kv: kv[0].name):
+    for kind, name in sorted(probe.items(), key=lambda kv: kv[0].name):
         if name not in table:
             continue
         for label, msg in _header_variants(MsgType.L2_PROBE_REPLY):

@@ -113,6 +113,7 @@ def _expand_shard(payload: Dict[str, object]) -> Dict[str, object]:
     depth = payload["depth"]
     reduce_sym = bool(payload["reduce_sym"])
     reduce_por = bool(payload["reduce_por"])
+    bundle = payload.get("bundle")
 
     buckets: Dict[int, Dict[bytes, Tuple]] = {}
     transitions = pruned = 0
@@ -126,7 +127,7 @@ def _expand_shard(payload: Dict[str, object]) -> Dict[str, object]:
             truncated = True
             continue
         try:
-            succ, pr = expand(st, layout, table, por=reduce_por)
+            succ, pr = expand(st, layout, table, por=reduce_por, bundle=bundle)
         except ModelViolation as exc:
             label = sym.remap_label(getattr(exc, "label", "?"), sig, lam)
             violations.append({
@@ -223,6 +224,7 @@ def explore_disk(
     depth: Optional[int],
     reduce_sym: bool = True,
     reduce_por: bool = True,
+    bundle=None,
 ) -> ExploreResult:
     """Run the reduced BFS with the frontier sharded on disk.
 
@@ -246,6 +248,7 @@ def explore_disk(
         "depth": depth,
         "reduce_sym": reduce_sym,
         "reduce_por": reduce_por,
+        "protocol": bundle.name if bundle is not None else "smtp-bitvector",
     }
     meta_path = root / "meta.json"
     if meta_path.exists():
@@ -309,6 +312,7 @@ def explore_disk(
                 "depth": depth,
                 "reduce_sym": reduce_sym,
                 "reduce_por": reduce_por,
+                "bundle": bundle,
             }))
         outcomes: List[Dict[str, object]] = []
 

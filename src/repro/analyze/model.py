@@ -233,9 +233,18 @@ def initial_state(
 class _Sim:
     """Mutable working copy of one MState, for applying a transition."""
 
-    def __init__(self, st: MState, layout: DirectoryLayout, table: HandlerTable):
+    def __init__(
+        self,
+        st: MState,
+        layout: DirectoryLayout,
+        table: HandlerTable,
+        bundle=None,
+    ):
         self.layout = layout
         self.table = table
+        #: Protocol bundle whose dispatch tables route messages; None
+        #: falls back to the default protocol's module tables.
+        self.bundle = bundle
         self.n = len(st.nodes)
         self.n_lines = len(st.entries)
         self.nodes = [n._asdict() for n in st.nodes]
@@ -289,9 +298,12 @@ class _Sim:
 
     def run_handler(self, node_id: int, msg: MMsg) -> None:
         if msg.mtype == "L2_PROBE_REPLY":
-            name = PROBE_DISPATCH[MsgType[msg.probe_kind]]
+            probe = (
+                self.bundle.probe_dispatch if self.bundle else PROBE_DISPATCH
+            )
+            name = probe[MsgType[msg.probe_kind]]
         else:
-            name = handler_name_for(self._to_message(msg), node_id)
+            name = handler_name_for(self._to_message(msg), node_id, self.bundle)
         regs = boot_registers(self.layout, node_id)
         regs[ADDR] = line_addr(msg.line)
         regs[HDR] = incoming_header(self._to_message(msg))
@@ -788,7 +800,7 @@ def _store_issuable(node: MNode, line: int) -> bool:
 
 
 def successors(
-    st: MState, layout: DirectoryLayout, table: HandlerTable
+    st: MState, layout: DirectoryLayout, table: HandlerTable, bundle=None
 ) -> List[Tuple[str, MState]]:
     """All (label, next-state) pairs from ``st``.
 
@@ -800,7 +812,7 @@ def successors(
     n_lines = len(st.entries)
 
     def apply(label: str, fn) -> None:
-        sim = _Sim(st, layout, table)
+        sim = _Sim(st, layout, table, bundle)
         try:
             fn(sim)
             nxt = sim.freeze()
@@ -951,11 +963,12 @@ def count_enabled(st: MState) -> int:
 
 
 def _apply_probe_dispatch(
-    st: MState, i: int, layout: DirectoryLayout, table: HandlerTable
+    st: MState, i: int, layout: DirectoryLayout, table: HandlerTable,
+    bundle=None,
 ) -> Tuple[str, MState]:
     msg = st.nodes[i].probes[0]
     label = f"n{i}: dispatch {msg.probe_kind} reply L{msg.line}"
-    sim = _Sim(st, layout, table)
+    sim = _Sim(st, layout, table, bundle)
     try:
         m = sim.nodes[i]["probes"].pop(0)
         sim.run_handler(i, m)
@@ -972,6 +985,7 @@ def expand(
     layout: DirectoryLayout,
     table: HandlerTable,
     por: bool = True,
+    bundle=None,
 ) -> Tuple[List[Tuple[str, MState]], int]:
     """Successors of ``st`` under the (optional) ample-set reduction.
 
@@ -982,9 +996,9 @@ def expand(
     if por:
         i = ample_probe(st, home=0)
         if i is not None:
-            pair = _apply_probe_dispatch(st, i, layout, table)
+            pair = _apply_probe_dispatch(st, i, layout, table, bundle)
             return [pair], count_enabled(st) - 1
-    return successors(st, layout, table), 0
+    return successors(st, layout, table, bundle), 0
 
 
 # ----------------------------------------------------------------------
@@ -1010,6 +1024,7 @@ def _bfs(
     depth: Optional[int] = None,
     reduce_sym: bool = True,
     reduce_por: bool = True,
+    bundle=None,
 ) -> ExploreResult:
     visited = {st for st, _, _, _ in roots}
     frontier = deque(roots)
@@ -1025,7 +1040,7 @@ def _bfs(
             truncated = True
             continue
         try:
-            succ, pr = expand(st, layout, table, por=reduce_por)
+            succ, pr = expand(st, layout, table, por=reduce_por, bundle=bundle)
         except ModelViolation as exc:
             label = sym.remap_label(getattr(exc, "label", "?"), sig, lam)
             return ExploreResult(
@@ -1075,6 +1090,7 @@ def _explore_payload(payload: Dict[str, object]) -> Dict[str, object]:
         depth=payload.get("depth"),
         reduce_sym=payload.get("reduce_sym", True),
         reduce_por=payload.get("reduce_por", True),
+        bundle=payload.get("bundle"),
     )
     return {
         "states": result.states,
@@ -1100,8 +1116,14 @@ def check_model(
     frontier_dir: Optional[str] = None,
     reduce_sym: bool = True,
     reduce_por: bool = True,
+    protocol: Optional[str] = None,
 ) -> ExploreResult:
     """Explore the n-node, L-line machine with sound reductions.
+
+    ``protocol`` selects a registered bundle by name (default: the
+    shipped bitvector protocol); its handler table and dispatch maps
+    are what the mirror executes.  An explicit ``table`` overrides the
+    bundle's (the mutation tests patch individual handlers).
 
     With ``jobs > 1`` the BFS frontier is expanded inline until it has
     at least ``4 * jobs`` states, then partitioned round-robin across
@@ -1126,11 +1148,19 @@ def check_model(
         raise ConfigError("loads/stores must be >= 0, max_states > 0")
     if depth is not None and depth <= 0:
         raise ConfigError("depth must be > 0 when set")
-    if table is None:
-        from repro.protocol import extensions
+    bundle = None
+    if protocol is not None:
+        from repro.protocol import registry
 
-        table = build_handler_table()
-        extensions.install(table)
+        bundle = registry.get(protocol)
+    if table is None:
+        if bundle is not None:
+            table = bundle.build_table()
+        else:
+            from repro.protocol import extensions
+
+            table = build_handler_table()
+            extensions.install(table)
     if layout is None:
         layout = DirectoryLayout(
             local_memory_bytes=1 << 22, line_bytes=128, entry_bytes=4
@@ -1147,13 +1177,14 @@ def check_model(
         return explore_disk(
             init, layout, table, frontier_dir,
             jobs=max(1, jobs), max_states=max_states, depth=depth,
-            reduce_sym=reduce_sym, reduce_por=reduce_por,
+            reduce_sym=reduce_sym, reduce_por=reduce_por, bundle=bundle,
         )
 
     if jobs <= 1:
         return _bfs(
             [root_entry(init)], layout, table, max_states,
             depth=depth, reduce_sym=reduce_sym, reduce_por=reduce_por,
+            bundle=bundle,
         )
 
     # Inline expansion until the frontier is wide enough to partition.
@@ -1168,7 +1199,7 @@ def check_model(
             frontier.append((st, trace, sig, lam))
             break
         try:
-            succ, pr = expand(st, layout, table, por=reduce_por)
+            succ, pr = expand(st, layout, table, por=reduce_por, bundle=bundle)
         except ModelViolation as exc:
             label = sym.remap_label(getattr(exc, "label", "?"), sig, lam)
             return ExploreResult(
@@ -1218,6 +1249,7 @@ def check_model(
                 "depth": depth,
                 "reduce_sym": reduce_sym,
                 "reduce_por": reduce_por,
+                "bundle": bundle,
             }))
     outcomes: List[Dict[str, object]] = []
 
@@ -1258,7 +1290,8 @@ def check_model(
 
 
 def counterexample_artifact(
-    path, violation: Violation, n_nodes: int, n_lines: int = 1
+    path, violation: Violation, n_nodes: int, n_lines: int = 1,
+    protocol: str = "smtp-bitvector",
 ):
     """Write ``violation`` as a replayable fuzz artifact.
 
@@ -1298,6 +1331,7 @@ def counterexample_artifact(
             max_outstanding=1,
         ),
         max_cycles=500_000,
+        protocol=protocol,
     )
     trace = [{"step": i, "label": label}
              for i, label in enumerate(violation.trace)]

@@ -18,14 +18,22 @@ The list cannot rot: :meth:`repro.analyze.findings.Report.
 apply_suppressions` reports any entry that matched no finding as a
 ``stale-suppression`` error finding (exit 1), so a fixed or renamed
 finding forces the dead entry to be deleted along with it.
+
+Suppressions are scoped **per protocol bundle**: each registered
+protocol gets its own tuple in :data:`SUPPRESSIONS_BY_PROTOCOL`, with
+reasons argued against *that* bundle's handlers.  A new bundle must
+add an entry (possibly empty) — :func:`suppressions_for` refuses
+unknown names so nobody silently inherits the SMTp justifications.
+Stale-suppression errors therefore stay per-protocol too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analyze.findings import Finding
+from repro.common.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -104,3 +112,101 @@ SUPPRESSIONS: Tuple[Suppression, ...] = (
         ),
     ),
 )
+
+
+def _shared_handler_suppressions(protocol_note: str) -> Tuple[Suppression, ...]:
+    """The three shared-handler trap suppressions, re-justified.
+
+    h_put, h_int_nack and h_swb are byte-identical in every shipped
+    bundle (the bundles substitute only h_get), so the dispatch pass
+    raises the same trap findings against each.  The serialization
+    arguments carry over, but each bundle's tuple spells out *why* it
+    still holds there rather than inheriting the SMTp prose.
+    """
+    return (
+        Suppression(
+            "dispatch", "trap-reachable", "h_put",
+            reason=(
+                "PUT is only composed by the writeback port for a "
+                "writable copy, and the directory recorded that "
+                "ownership when it granted it; at PUT-arrival time the "
+                "writer is the recorded owner or the recorded waiter "
+                "of a BUSY_* entry (late PUT overtaken by the XFER "
+                "revision, handled by the 'late' arm).  "
+                + protocol_note
+                + "  Verified by the per-protocol model-check pass."
+            ),
+            states=(
+                "UNOWNED", "SHARED{", "EXCLUSIVE(owner=other)",
+            ),
+        ),
+        Suppression(
+            "dispatch", "trap-reachable", "h_int_nack",
+            reason=(
+                "INT_NACK is composed only by a probed node whose "
+                "probe found no copy, and a probe is only outstanding "
+                "while the home holds the entry BUSY_* for that "
+                "transaction; the probed node can only have lost its "
+                "copy via a PUT that precedes the INT_NACK on the same "
+                "(src, home, VN2) FIFO, and h_put's absorb arm keeps "
+                "the entry BUSY so the INT_NACK still finds the parked "
+                "transaction.  " + protocol_note
+                + "  Verified by the per-protocol model-check pass."
+            ),
+            states=(
+                "UNOWNED", "SHARED{", "EXCLUSIVE(",
+            ),
+        ),
+        Suppression(
+            "dispatch", "trap-reachable", "h_swb",
+            reason=(
+                "SWB is composed exclusively by h_probe_sh_done, i.e. "
+                "only after the home parked the entry BUSY_SHARED and "
+                "sent the INT_SHARED that produced the probe reply; "
+                "VN2 delivery cannot overtake that serialization.  "
+                + protocol_note
+                + "  Verified by the per-protocol model-check pass."
+            ),
+            states=(
+                "UNOWNED", "SHARED{", "EXCLUSIVE(", "BUSY_EXCLUSIVE(",
+            ),
+        ),
+    )
+
+
+#: Per-bundle suppression lists.  Every registered protocol MUST have
+#: an entry here (an empty tuple is fine for a bundle with no argued
+#: findings); :func:`suppressions_for` raises ``ConfigError`` for a
+#: missing one so a new bundle cannot silently inherit another
+#: bundle's justifications.
+SUPPRESSIONS_BY_PROTOCOL: Dict[str, Tuple[Suppression, ...]] = {
+    "smtp-bitvector": SUPPRESSIONS,
+    "msi": _shared_handler_suppressions(
+        "Under the MSI baseline the ownership discipline is "
+        "unchanged: only an M-grant (GETX/UPGRADE, or the exclusive "
+        "arm of h_get) creates a writable copy, so UNOWNED/SHARED/"
+        "foreign-owner PUTs and non-BUSY INT_NACK/SWB remain "
+        "unconstructible; dropping the eager-exclusive GET reply "
+        "removes one producer of writable copies and adds none."
+    ),
+    "migratory": _shared_handler_suppressions(
+        "Under migratory sharing GET is granted exclusively via the "
+        "same BUSY_EXCLUSIVE/INT_EXCL park used by h_getx, so every "
+        "writable copy is still directory-recorded before it exists; "
+        "h_swb becomes dynamically dead (no GET parks BUSY_SHARED) "
+        "but stays dispatched, so its statically-enumerated trap "
+        "states still need this entry."
+    ),
+}
+
+
+def suppressions_for(protocol: str) -> Tuple[Suppression, ...]:
+    """The suppression tuple scoped to one protocol bundle."""
+    try:
+        return SUPPRESSIONS_BY_PROTOCOL[protocol]
+    except KeyError:
+        raise ConfigError(
+            f"no suppression list for protocol {protocol!r}: add an "
+            "entry (even an empty one) to SUPPRESSIONS_BY_PROTOCOL in "
+            "repro/analyze/suppressions.py"
+        ) from None

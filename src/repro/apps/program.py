@@ -248,6 +248,12 @@ class KernelBuilder:
         self.buffer.append(uop)
         self.pc = return_pc
 
+    def mark_spin(self) -> None:
+        """Tag the most recently emitted µop as spin-synchronization
+        work (see ``Uop.spin``); called by the runtime's spin/lock
+        helpers on every µop of their timing-dependent loops."""
+        self.buffer[-1].spin = True
+
     # -- value-bearing operations (used with ``yield AWAIT``) -----------------
     def spin_load(self, addr: int) -> None:
         uop = self._stamp(UopKind.LOAD, (), self._int_dest())

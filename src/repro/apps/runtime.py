@@ -68,9 +68,11 @@ def spin_until(
     while True:
         k.set_pc(pc)
         k.spin_load(addr)
+        k.mark_spin()
         value = yield AWAIT
         ok = pred(value)
         k.branch(not ok, pc)
+        k.mark_spin()
         if ok:
             return value
         yield ("sleep", wait)
@@ -140,6 +142,7 @@ class SpinLock:
             yield from spin_until(k, self.addr, lambda v: v == 0)
             # Set: one atomic attempt; on failure, back off and retest.
             k.atomic(self.addr, "tas")
+            k.mark_spin()
             got = yield AWAIT
             if got == 0:
                 return

@@ -234,6 +234,12 @@ class MachineParams:
     protocol_icache_bytes: int = 32 * 1024
     # 'pp' = embedded dual-issue protocol processor, 'thread' = SMTp.
     protocol_engine: str = "thread"
+    # Which registered coherence protocol the machine runs — a
+    # :mod:`repro.protocol.registry` bundle name.  Resolved lazily by
+    # the machine (this module stays import-leaf); unknown names fail
+    # with ConfigError at bundle resolution.  Participates in the sweep
+    # cache key like every other field.
+    protocol: str = "smtp-bitvector"
     line_bytes: int = 128  # coherence granularity == L2 line
     # Per-node local memory (bytes of application address space homed
     # at each node); scaled presets shrink this with the workloads.

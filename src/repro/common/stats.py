@@ -71,7 +71,11 @@ class ThreadStats:
     loads: int = 0
     stores: int = 0
     prefetches: int = 0
-    spin_iterations: int = 0
+    # Committed µops emitted by spin-synchronization loops (spin_until /
+    # SpinLock.acquire).  The count is timing-dependent — a thread spins
+    # for however long the line takes to arrive — so cross-protocol
+    # differentials compare ``committed - spin_committed``.
+    spin_committed: int = 0
     barrier_waits: int = 0
     lock_acquires: int = 0
     finish_cycle: int = 0
@@ -168,6 +172,11 @@ class MachineStats:
     @property
     def committed(self) -> int:
         return sum(t.committed for t in self.app_threads())
+
+    @property
+    def spin_committed(self) -> int:
+        """Committed spin-loop µops (timing-dependent; see ThreadStats)."""
+        return sum(t.spin_committed for t in self.app_threads())
 
     @property
     def memory_stall_cycles(self) -> float:

@@ -38,9 +38,8 @@ from repro.common.stats import MachineStats
 from repro.core.node import Node
 from repro.network.fabric import Interconnect
 from repro.protocol.checker import CoherenceChecker
-from repro.protocol import extensions
 from repro.protocol.directory import DirectoryLayout
-from repro.protocol.handlers import build_handler_table
+from repro.protocol import registry
 
 
 class Machine:
@@ -49,8 +48,9 @@ class Machine:
         self.wheel = EventWheel()
         self.cycle = 0
         self.layout = DirectoryLayout.for_machine(mp)
-        self.handler_table = build_handler_table()
-        extensions.install(self.handler_table)
+        #: The registered coherence protocol this machine runs.
+        self.protocol = registry.get(mp.protocol)
+        self.handler_table = self.protocol.build_table()
         self.fabric = Interconnect(mp, self.wheel)
         #: Functional word store (synchronization values).
         self.words: Dict[int, int] = {}
@@ -63,6 +63,7 @@ class Machine:
                 self.handler_table,
                 self.fabric.send,
                 self.words,
+                bundle=self.protocol,
             )
             for i in range(mp.n_nodes)
         ]

@@ -54,6 +54,7 @@ def make_machine_params(
     protocol_bitops: bool = True,
     perfect_protocol_caches: bool = False,
     watchdog_cycles: int = 2_000_000,
+    protocol: str = "smtp-bitvector",
 ) -> MachineParams:
     """Build the :class:`MachineParams` for one Table 4 model."""
     model = model.lower()
@@ -104,6 +105,7 @@ def make_machine_params(
         mc_freq_ghz=mc_ghz,
         dir_cache=dir_cache,
         protocol_engine="thread" if smtp else "pp",
+        protocol=protocol,
         local_memory_bytes=local_memory_bytes,
         check_coherence=check_coherence,
         sanitize=sanitize,

@@ -43,6 +43,7 @@ class Node:
         handler_table: HandlerTable,
         send_to_network: Callable[[Message], None],
         words: Dict[int, int],
+        bundle=None,
     ) -> None:
         self.node_id = node_id
         self.mp = mp
@@ -64,6 +65,7 @@ class Node:
             self.stats,
             self.memory_versions,
             send_to_network,
+            bundle=bundle,
         )
 
         h = self.hierarchy

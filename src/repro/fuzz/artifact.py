@@ -122,18 +122,32 @@ def load_artifact(path) -> Dict[str, object]:
 
 
 def replay_artifact(
-    path, use_shrunk: bool = True
+    path, use_shrunk: bool = True, protocol: Optional[str] = None
 ) -> Tuple[bool, Optional[BaseException], List[FuzzOp]]:
     """Re-run an artifact's ops on a fresh machine.
 
     Returns ``(reproduced, failure, ops_used)`` — ``reproduced`` means
     the replay failed in the same status class (violation vs deadlock)
     the artifact recorded.
+
+    ``protocol``, when given, asserts which coherence bundle the
+    artifact was fuzzed under; a mismatch is a ``ConfigError`` rather
+    than a silent replay against the wrong handlers (the failure would
+    be meaningless — or worse, spuriously "fixed").  ``None`` accepts
+    whatever the artifact recorded.
     """
+    from repro.common.errors import ConfigError
     from repro.fuzz.campaign import FuzzCell, execute, status_of
 
     doc = load_artifact(path)
     cell = FuzzCell.from_dict(doc["cell"])
+    if protocol is not None and protocol != cell.protocol:
+        raise ConfigError(
+            f"artifact {path} was recorded under protocol "
+            f"{cell.protocol!r} but replay requested {protocol!r}; "
+            "pass the matching --protocol (or none, to use the "
+            "recorded one)"
+        )
     op_dicts = doc["ops"]
     if use_shrunk and doc.get("shrunk_ops"):
         op_dicts = doc["shrunk_ops"]

@@ -51,13 +51,21 @@ class FuzzCell:
     faults: FaultConfig = field(default_factory=FaultConfig)
     max_cycles: int = 3_000_000
     trace_tail: int = 400
+    #: Registered coherence-protocol bundle the machine runs
+    #: (``repro.protocol.registry``); recorded in artifacts so
+    #: ``--replay`` rebuilds the same protocol.
+    protocol: str = "smtp-bitvector"
 
     @property
     def label(self) -> str:
+        proto = (
+            f" proto={self.protocol}"
+            if self.protocol != "smtp-bitvector" else ""
+        )
         return (
             f"seed={self.seed} {self.model} n={self.n_nodes} "
             f"{self.stress.sharing} ops={self.stress.n_ops}"
-            f"{' faults' if self.faults.active else ''}"
+            f"{proto}{' faults' if self.faults.active else ''}"
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -69,6 +77,7 @@ class FuzzCell:
             "faults": self.faults.to_dict(),
             "max_cycles": self.max_cycles,
             "trace_tail": self.trace_tail,
+            "protocol": self.protocol,
         }
 
     @classmethod
@@ -81,6 +90,7 @@ class FuzzCell:
             faults=FaultConfig(**d.get("faults", {})),
             max_cycles=int(d.get("max_cycles", 3_000_000)),
             trace_tail=int(d.get("trace_tail", 400)),
+            protocol=str(d.get("protocol", "smtp-bitvector")),
         )
 
 
@@ -112,7 +122,10 @@ def build_fuzz_machine(cell: FuzzCell):
     from repro.core.machine import Machine
     from repro.core.models import make_machine_params
 
-    mp = make_machine_params(cell.model, cell.n_nodes, 1, **FUZZ_MACHINE_KWARGS)
+    mp = make_machine_params(
+        cell.model, cell.n_nodes, 1,
+        protocol=cell.protocol, **FUZZ_MACHINE_KWARGS,
+    )
     machine = Machine(mp)
     if mp.protocol_engine == "thread":
         install_idle_cores(machine)
@@ -254,6 +267,7 @@ def make_cells(
     stress: Optional[StressConfig] = None,
     faults: Optional[FaultConfig] = None,
     max_cycles: int = 3_000_000,
+    protocol: str = "smtp-bitvector",
 ) -> List[FuzzCell]:
     stress = stress or StressConfig()
     faults = faults or FaultConfig()
@@ -261,6 +275,7 @@ def make_cells(
         FuzzCell(
             seed=seed, model=model, n_nodes=n_nodes,
             stress=stress, faults=faults, max_cycles=max_cycles,
+            protocol=protocol,
         )
         for seed in seeds
     ]

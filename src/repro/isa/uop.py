@@ -98,6 +98,7 @@ class Uop:
         "ctx",
         "on_value",
         "protocol",
+        "spin",
         # kind predicates, precomputed (issue/commit hot path)
         "is_memory",
         "is_branch",
@@ -161,6 +162,10 @@ class Uop:
         #: Callback fed the load/atomic result (spin & lock feedback).
         self.on_value = on_value
         self.protocol = protocol
+        #: Emitted by a spin-synchronization loop (spin_until /
+        #: SpinLock.acquire): its retirement count is timing-dependent
+        #: and excluded from cross-protocol differential comparisons.
+        self.spin = False
 
         # ``kind`` never changes after construction, so the class
         # predicates are paid once here instead of on every pipeline
@@ -228,6 +233,7 @@ class Uop:
         u.ctx = self.ctx
         u.on_value = self.on_value
         u.protocol = self.protocol
+        u.spin = self.spin
         u.is_memory = self.is_memory
         u.is_branch = self.is_branch
         u.commit_stage = self.commit_stage
@@ -291,6 +297,7 @@ def protocol_uop(
     u.ctx = ctx
     u.on_value = None
     u.protocol = True
+    u.spin = False
     (
         u.is_memory,
         u.is_branch,

@@ -94,6 +94,7 @@ class MemoryController:
         stats: NodeStats,
         memory_versions: Dict[int, int],
         send_to_network: Callable[[Message], None],
+        bundle=None,
     ) -> None:
         self.node_id = node_id
         self.mp = mp
@@ -101,6 +102,10 @@ class MemoryController:
         self.hierarchy = hierarchy
         self.layout = layout
         self.handlers = handler_table
+        #: The protocol bundle whose dispatch tables route messages;
+        #: None (memory-only harnesses) falls back to the default
+        #: protocol's module-level tables.
+        self.bundle = bundle
         self.stats = stats
         self.memory_versions = memory_versions
         self.send_to_network = send_to_network
@@ -302,9 +307,10 @@ class MemoryController:
         if msg.mtype is MsgType.L2_PROBE_REPLY:
             kind = msg.probe_kind
             assert kind is not None  # stamped by _execute_probe's reply
-            name = PROBE_DISPATCH[kind]
+            probe = self.bundle.probe_dispatch if self.bundle else PROBE_DISPATCH
+            name = probe[kind]
         else:
-            name = handler_name_for(msg, self.node_id)
+            name = handler_name_for(msg, self.node_id, self.bundle)
         ctx = HandlerContext(msg, self.handlers[name], incoming_header(msg))
         ctx.dispatched_at = self.wheel.now
         if msg.mtype in EXPECTS_MEMORY_DATA and msg.dest == self.node_id:

@@ -52,15 +52,25 @@ class HandlerContext:
         self.am_result = 0
 
 
-def handler_name_for(msg: Message, node_id: int) -> str:
-    """Resolve which handler services ``msg`` at ``node_id``."""
+def handler_name_for(msg: Message, node_id: int, bundle=None) -> str:
+    """Resolve which handler services ``msg`` at ``node_id``.
+
+    ``bundle`` is the machine's :class:`repro.protocol.registry.
+    ProtocolBundle`; None falls back to the default protocol's
+    module-level dispatch tables (memory-only harnesses and tests).
+    """
+    if bundle is None:
+        network, local_remote = NETWORK_DISPATCH, LOCAL_REMOTE_DISPATCH
+    else:
+        network = bundle.network_dispatch
+        local_remote = bundle.local_remote_dispatch
     if msg.mtype is MsgType.L2_PROBE_REPLY:
         raise ValueError("probe replies resolve via their probe kind")
     if msg.mtype in (MsgType.GET, MsgType.GETX, MsgType.UPGRADE):
         if msg.dest == node_id:
-            return NETWORK_DISPATCH[msg.mtype]
-        return LOCAL_REMOTE_DISPATCH[msg.mtype]
-    return NETWORK_DISPATCH[msg.mtype]
+            return network[msg.mtype]
+        return local_remote[msg.mtype]
+    return network[msg.mtype]
 
 
 def incoming_header(msg: Message) -> int:

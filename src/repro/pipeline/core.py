@@ -476,8 +476,11 @@ class SMTCore:
                 free_fp = rn._free_fp
                 free_int = rn._free_int
                 committed = 0
+                spin_committed = 0
                 while True:
                     self._rn_wait &= 1
+                    if head.spin:
+                        spin_committed += 1
                     kind = head.kind
                     if kind is UopKind.STORE:
                         sb.app_used += 1
@@ -510,6 +513,7 @@ class SMTCore:
                     ):
                         break
                 stats.committed += committed
+                stats.spin_committed += spin_committed
                 self._worked = True
                 m = self.machine
                 if m is not None:
@@ -1798,6 +1802,8 @@ class SMTCore:
             self.bstack_pool.release(uop.protocol)
         self.rename.commit_free(uop)
         t.stats.committed += 1
+        if uop.spin:
+            t.stats.spin_committed += 1
         if t.protocol:
             self.node.stats.protocol.instructions += 1
         if uop.kind is UopKind.LOAD:

@@ -156,6 +156,22 @@ def compiled_for(handler: Handler) -> CompiledHandler:
     return compiled
 
 
+def compile_bundle(bundle) -> int:
+    """Eagerly compile every handler of a registered protocol bundle.
+
+    The compiler is protocol-agnostic — each bundle's ``build_table()``
+    returns fresh :class:`Handler` objects, and :func:`compiled_for`
+    caches on the handler itself, so variant bundles never collide in
+    one process.  This helper exists to make that claim checkable (and
+    to pre-warm a bundle before timing runs).  Returns the number of
+    handlers compiled.
+    """
+    table = bundle.build_table()
+    for handler in table.by_name.values():
+        compiled_for(handler)
+    return len(table.by_name)
+
+
 # ----------------------------------------------------------------------
 # Shared compilation plumbing.
 # ----------------------------------------------------------------------

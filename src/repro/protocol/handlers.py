@@ -40,7 +40,7 @@ Header layout (shared with the dispatch hardware)::
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Mapping, Optional
 
 from repro.network.messages import MsgType
 from repro.protocol import directory as d
@@ -178,7 +178,41 @@ def clear_bit(h: HandlerBuilder, vec_reg: int, bit_reg: int, tmp: int = T5) -> N
 # ---------------------------------------------------------------------------
 
 
-def build_h_get() -> Handler:
+def get_unowned_eager_exclusive(h: HandlerBuilder) -> None:
+    """Default GET unowned arm: eager-exclusive reply (paper §3) —
+    hand out a writable copy."""
+    h.slli(T4, T3, d.OWNER_SHIFT)
+    h.ori(T4, T4, d.EXCLUSIVE)
+    h.st(T4, T0)
+    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
+    h.done()
+
+
+def get_exclusive_downgrade(h: HandlerBuilder) -> None:
+    """Default GET exclusive arm: forward a downgrading intervention
+    to the owner; go busy.  On entry T3 = requester, T4 = owner."""
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_SHARED)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_SHARED, dest_reg=T4, req_reg=T3)
+    h.done()
+
+
+def build_h_get(
+    unowned_arm: Callable[[HandlerBuilder], None] = get_unowned_eager_exclusive,
+    exclusive_arm: Callable[[HandlerBuilder], None] = get_exclusive_downgrade,
+) -> Handler:
+    """The GET (read-miss) home handler.
+
+    The unowned and foreign-owner arms are the two places registered
+    protocol variants legitimately differ (MSI drops the
+    eager-exclusive reply; migratory sharing transfers ownership on a
+    read), so they are pluggable; everything else — debt/busy NACKing,
+    sharer accounting, the own_req writeback race — is protocol
+    invariant and shared by every bundle.
+    """
     h = HandlerBuilder("h_get")
     dir_prologue(h)
     h.srli(T4, T1, d.XFER_DEBT_SHIFT)
@@ -195,12 +229,7 @@ def build_h_get() -> Handler:
     h.done()
 
     h.label("unowned")
-    # Eager-exclusive reply: hand out a writable copy.
-    h.slli(T4, T3, d.OWNER_SHIFT)
-    h.ori(T4, T4, d.EXCLUSIVE)
-    h.st(T4, T0)
-    compose_send(h, MsgType.DATA_EXCL, dest_reg=T3, req_reg=T3)
-    h.done()
+    unowned_arm(h)
 
     h.label("shared")
     h.addi(T4, T3, d.VECTOR_SHIFT)
@@ -216,14 +245,7 @@ def build_h_get() -> Handler:
     h.andi(T4, T4, d.OWNER_MASK)
     h.seq(T5, T4, T3)
     h.bnez(T5, "own_req")
-    # Forward a downgrading intervention to the owner; go busy.
-    h.slli(T5, T4, d.OWNER_SHIFT)
-    h.ori(T5, T5, d.BUSY_SHARED)
-    h.slli(T6, T3, d.WAITER_SHIFT)
-    h.or_(T5, T5, T6)
-    h.st(T5, T0)
-    compose_send(h, MsgType.INT_SHARED, dest_reg=T4, req_reg=T3)
-    h.done()
+    exclusive_arm(h)
 
     h.label("own_req")
     # The recorded owner is requesting again: the only way it can miss
@@ -580,8 +602,16 @@ def _pi_fwd(name: str, mtype: MsgType) -> Handler:
 # ---------------------------------------------------------------------------
 
 
-def build_handler_table() -> HandlerTable:
-    """Assemble every handler at its protocol-code-space PC."""
+def build_handler_table(
+    replacements: Optional[Mapping[str, Handler]] = None,
+) -> HandlerTable:
+    """Assemble every handler at its protocol-code-space PC.
+
+    ``replacements`` maps handler names to substitute programs; the
+    registered protocol variants (:mod:`repro.protocol.registry`) use
+    it to swap individual handlers while keeping the placement order —
+    and therefore the default table's PCs — identical.
+    """
     table = HandlerTable(code_base=d.CODE_BASE)
     for handler in (
         build_h_get(),
@@ -608,6 +638,8 @@ def build_handler_table() -> HandlerTable:
         _pi_fwd("pi_fwd_getx", MsgType.GETX),
         _pi_fwd("pi_fwd_upgrade", MsgType.UPGRADE),
     ):
+        if replacements and handler.name in replacements:
+            handler = replacements[handler.name]
         table.place(handler)
     return table
 

@@ -1,0 +1,59 @@
+"""Migratory-sharing optimization layered on the bitvector protocol.
+
+Migratory data — a shared structure each processor reads *and then
+writes* inside a critical section (counters, reductions, lock-protected
+records) — degenerates under the default protocol: the reader's GET
+downgrades the previous owner to SHARED, and the write that follows
+must come back with an UPGRADE and invalidate it again.  Four protocol
+messages and two directory transactions per migration.
+
+The migratory variant recognizes the pattern at the directory: a read
+miss to a line another node holds EXCLUSIVE transfers the *exclusive*
+copy instead of downgrading — ``h_get``'s foreign-owner arm parks the
+entry ``BUSY_EXCLUSIVE`` and forwards an invalidating ``INT_EXCL``,
+exactly the shape ``h_getx`` uses.  The follow-up write then hits a
+writable line locally; the whole migration costs one transaction.
+(Reads to SHARED lines still join the sharer vector, so read-mostly
+data keeps its multiple copies; only owner-to-reader handoffs change.)
+
+Every other handler and all four dispatch tables are shared with the
+default bundle.  ``h_int_shared``/``h_probe_sh_done``/``h_swb`` become
+dynamically unreachable — nothing composes INT_SHARED or SWB anymore —
+but stay registered and verified, which is what keeps the variant a
+pure table substitution.
+"""
+
+from __future__ import annotations
+
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol.handlers import build_h_get, build_handler_table, compose_send
+from repro.protocol.isa import T0, T3, T4, T5, T6, Handler, HandlerBuilder, HandlerTable
+
+
+def get_exclusive_migrate(h: HandlerBuilder) -> None:
+    """Migratory GET exclusive arm: transfer ownership to the reader.
+
+    On entry T3 = requester, T4 = recorded owner.  Mirrors h_getx's
+    exclusive arm: park BUSY_EXCLUSIVE with the requester as waiter
+    and send an invalidating intervention to the owner; the owner's
+    probe reply forwards its (possibly dirty) copy straight to the
+    requester as DATA_EXCL and revises the home with XFER.
+    """
+    h.slli(T5, T4, d.OWNER_SHIFT)
+    h.ori(T5, T5, d.BUSY_EXCLUSIVE)
+    h.slli(T6, T3, d.WAITER_SHIFT)
+    h.or_(T5, T5, T6)
+    h.st(T5, T0)
+    compose_send(h, MsgType.INT_EXCL, dest_reg=T4, req_reg=T3)
+    h.done()
+
+
+def build_h_get_migratory() -> Handler:
+    return build_h_get(exclusive_arm=get_exclusive_migrate)
+
+
+def build_migratory_table() -> HandlerTable:
+    """The full migratory handler table (coherence handlers only; the
+    registry appends the active-memory extension handlers)."""
+    return build_handler_table({"h_get": build_h_get_migratory()})

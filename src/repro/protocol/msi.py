@@ -1,0 +1,109 @@
+"""The MSI baseline protocol: 3 stable states, no eager-exclusive replies.
+
+This is the textbook invalidation protocol the paper's bitvector
+protocol optimizes: a read miss *always* receives a SHARED copy —
+even when the line is unowned — so a private read-modify-write
+pattern costs a GET followed by an UPGRADE, where the eager-exclusive
+default resolves it in one transaction.  Keeping the baseline
+registered makes that difference measurable (`repro sweep` grids can
+put ``protocol`` on an axis; see docs/protocols.md).
+
+Only ``h_get``'s unowned arm differs from the default bundle; every
+other handler — GETX, UPGRADE, the writeback/revision handlers, the
+probed-node and requester-side handlers — is shared verbatim, and the
+dispatch tables are identical.  The directory word uses the same
+field layout (:mod:`repro.protocol.directory`); the stable states it
+can reach are the MSI triple:
+
+====== ==================== =====================================
+MSI    directory encoding   meaning
+====== ==================== =====================================
+I      ``UNOWNED``          no cached copies; memory is current
+S      ``SHARED``           read-only copies at the vector's bits
+M      ``EXCLUSIVE``        one writable copy at ``owner``
+====== ==================== =====================================
+
+plus the two transient ``BUSY_*`` states while an intervention is in
+flight.  The helpers below expose that restricted encoding for
+Python-side tooling and the Hypothesis round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.network.messages import MsgType
+from repro.protocol import directory as d
+from repro.protocol.handlers import build_h_get, build_handler_table, compose_send
+from repro.protocol.isa import T0, T3, T4, T5, Handler, HandlerBuilder, HandlerTable
+
+#: MSI state names over the shared directory encoding.
+INVALID = d.UNOWNED
+SHARED = d.SHARED
+MODIFIED = d.EXCLUSIVE
+
+MSI_STATE_NAMES = {
+    INVALID: "I",
+    SHARED: "S",
+    MODIFIED: "M",
+    d.BUSY_SHARED: "busy-S",
+    d.BUSY_EXCLUSIVE: "busy-M",
+}
+
+#: Stable states an MSI directory entry may encode.
+STABLE_STATES = (INVALID, SHARED, MODIFIED)
+
+
+def encode_msi(state: int, owner: int = 0, waiter: int = 0, vector: int = 0) -> int:
+    """Encode an MSI directory entry (same word layout as the default
+    protocol, restricted to the fields each MSI state uses)."""
+    if state not in MSI_STATE_NAMES:
+        raise ConfigError(f"not an MSI directory state: {state}")
+    if state in (INVALID, SHARED) and owner:
+        raise ConfigError(f"{MSI_STATE_NAMES[state]} entries carry no owner")
+    if state in (INVALID, MODIFIED) and vector:
+        raise ConfigError(f"{MSI_STATE_NAMES[state]} entries carry no sharer vector")
+    return d.encode(state, owner=owner, waiter=waiter, vector=vector)
+
+
+def decode_msi(entry: int) -> Tuple[int, int, int, List[int]]:
+    """Decode ``entry`` into (state, owner, waiter, sharers)."""
+    state = d.state_of(entry)
+    if state not in MSI_STATE_NAMES:
+        raise ConfigError(f"not an MSI directory entry: {entry:#x}")
+    return state, d.owner_of(entry), d.waiter_of(entry), d.sharers_of(entry)
+
+
+def describe_msi(entry: int) -> str:
+    state, owner, waiter, sharers = decode_msi(entry)
+    return (
+        f"{MSI_STATE_NAMES[state]} owner={owner} waiter={waiter} "
+        f"sharers={sharers}"
+    )
+
+
+def get_unowned_shared(h: HandlerBuilder) -> None:
+    """MSI GET unowned arm: grant a SHARED copy, never exclusive.
+
+    The entry word is zero in UNOWNED (h_put/h_xfer store plain zero
+    and the debt-bit case was branched away), so the new entry is
+    built from scratch: ``SHARED | bit(requester)``.
+    """
+    h.addi(T4, T3, d.VECTOR_SHIFT)
+    h.li(T5, 1)
+    h.sllv(T5, T5, T4)
+    h.ori(T5, T5, d.SHARED)
+    h.st(T5, T0)
+    compose_send(h, MsgType.DATA_SHARED, dest_reg=T3, req_reg=T3)
+    h.done()
+
+
+def build_h_get_msi() -> Handler:
+    return build_h_get(unowned_arm=get_unowned_shared)
+
+
+def build_msi_table() -> HandlerTable:
+    """The full MSI handler table (coherence handlers only; the
+    registry appends the active-memory extension handlers)."""
+    return build_handler_table({"h_get": build_h_get_msi()})

@@ -7,7 +7,7 @@ compared against the published numbers side by side.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.stats import MachineStats
 
@@ -105,6 +105,52 @@ def resource_occupancy_table(results: Dict[str, MachineStats]) -> str:
             cells.append(f"{mx}, {mean:.0f}")
         rows.append(cells)
     return format_table(headers, rows)
+
+
+def protocol_comparison_table(results) -> Optional[str]:
+    """Cross-protocol comparison rows for a finished sweep.
+
+    Groups sweep results whose cells differ *only* in their
+    ``protocol`` flag (same app/model/nodes/ways/preset and other
+    flags) and prints their cycle counts side by side, normalized to
+    the default ``smtp-bitvector`` bundle when it is present in the
+    group.  Returns ``None`` when no cell pair is comparable — the
+    caller simply skips the section.
+    """
+    groups: Dict[tuple, Dict[str, object]] = {}
+    for r in results:
+        flags = dict(r.cell.flags)
+        proto = str(flags.pop("protocol", "smtp-bitvector"))
+        key = (
+            r.cell.app, r.cell.model, r.cell.n_nodes, r.cell.ways,
+            r.cell.preset, tuple(sorted(flags.items())),
+        )
+        groups.setdefault(key, {})[proto] = r
+    rows: List[List[object]] = []
+    for key, by_proto in sorted(groups.items()):
+        if len(by_proto) < 2:
+            continue
+        base = by_proto.get("smtp-bitvector")
+        base_cycles = (
+            base.stats["cycles"] if base is not None and base.ok else None
+        )
+        for proto, r in sorted(by_proto.items()):
+            cycles = r.stats["cycles"] if r.ok else None
+            rel = (
+                f"{cycles / base_cycles:.3f}x"
+                if cycles is not None and base_cycles else "-"
+            )
+            rows.append([
+                key[0], key[1], key[2], key[4], proto,
+                cycles if cycles is not None else r.status, rel,
+            ])
+    if not rows:
+        return None
+    return format_table(
+        ["app", "model", "nodes", "preset", "protocol", "cycles",
+         "vs default"],
+        rows,
+    )
 
 
 def summarize(st: MachineStats) -> str:

@@ -651,6 +651,13 @@ def _grid_smoke() -> List[SweepCell]:
     cells = make_grid(("water", "fft"), ("base", "smtp"), preset="tiny")
     cells += make_grid(("water", "fft"), ("base",), nodes=(2,), preset="tiny")
     cells += make_grid(("fft",), ("base",), nodes=(16,), preset="tiny")
+    # MSI n=2 cell: same workload/shape as the n=2 bitvector cell
+    # above but on the registered "msi" bundle, so the smoke gate
+    # covers the protocol-registry seam and the sweep report can emit
+    # a cross-protocol comparison row (`protocol` rides in the cell's
+    # flags and therefore in its cache key and gate key).
+    cells += make_grid(("fft",), ("base",), nodes=(2,), preset="tiny",
+                       protocol="msi")
     # Single-node bench-preset cell: long enough (~50k cycles) for
     # stable timing, app-dominated — the regime the superblock-compiled
     # fetch/issue/commit fast path accelerates.  Gated against the

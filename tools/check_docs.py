@@ -45,9 +45,18 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_COMMANDS = {
     "docs/sweep-service.md": ("sweep", "fuzz"),
     "docs/analyze.md": ("analyze", "fuzz", "sweep"),
+    "docs/protocols.md": ("analyze", "fuzz", "sweep", "handlers"),
     "docs/architecture.md": ("run", "sweep", "fuzz", "analyze"),
     "EXPERIMENTS.md": ("run", "sweep", "fuzz", "analyze"),
     "README.md": ("run", "sweep", "fuzz", "analyze"),
+}
+
+# Flags that MUST be live on specific commands: protects the
+# protocol-registry seam (docs/protocols.md is written against these)
+# from a silent CLI regression even if every doc mention were also
+# removed.
+REQUIRED_FLAGS = {
+    "--protocol": ("analyze", "fuzz", "sweep", "handlers"),
 }
 
 # Manual completeness: each manual must mention the full flag set of
@@ -136,6 +145,15 @@ def main() -> int:
                 problems.append(
                     f"{manual_rel}: `{cmd}` flag {flag} is live in "
                     f"--help but undocumented"
+                )
+
+    # Required flags: certain flags must stay live on their commands.
+    for flag, commands in REQUIRED_FLAGS.items():
+        for cmd in commands:
+            if flag not in flags_for((cmd,)):
+                problems.append(
+                    f"required flag {flag} is missing from "
+                    f"`repro {cmd} --help`"
                 )
 
     # Directions 3 and 4: REPRO_* env flags, both ways.
