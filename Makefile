@@ -4,7 +4,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: test tier1 smoke fig2 fuzz-smoke bench clean-cache analyze analyze-all model-deep lint docs-check
+.PHONY: test tier1 smoke fig2 fig8-smoke fuzz-smoke bench clean-cache analyze analyze-all model-deep lint docs-check
 
 # Tier-1 gate: the full unit/integration/property suite, then the
 # protocol verifier (static + dispatch + exhaustive small model).
@@ -70,11 +70,15 @@ lint:
 # fails the target; speedups simply become the new baseline once the
 # refreshed file is committed.  The n=16 cell additionally enforces a
 # >=1.5x cycles/sec floor over the recorded pre-compilation
-# interpreter build (the BENCH file's pre_compile block).  Cells are
-# timed in CPU seconds, best-of-5 (min = contention-free cost), and
-# the gate normalizes by a box-speed calibration loop recorded in the
-# BENCH file; --refresh forces fresh timings (cache hits carry none);
-# --jobs 0 runs the cells inline so timings stay comparable.
+# interpreter build (the BENCH file's pre_compile block), and the
+# protocol-heavy SMTp 2-way n=4 cell a >=1.1x floor over the
+# pre-SMT-compile build (the pre_smt_compile block — see
+# benchmarks/README.md for why the floor is 1.1x, not the 2x the
+# fused path originally targeted).  Cells are timed in CPU seconds,
+# best-of-5 (min = contention-free cost), and the gate normalizes by
+# a box-speed calibration loop recorded in the BENCH file; --refresh
+# forces fresh timings (cache hits carry none); --jobs 0 runs the
+# cells inline so timings stay comparable.
 smoke:
 	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
 		--grid smoke --name smoke --jobs 0 --timeout 120 \
@@ -89,6 +93,23 @@ fig2:
 	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
 		--grid fig2 --name fig2 --jobs 0 --timeout 300 \
 		--refresh --gate BENCH_fig2.json
+
+# Reduced Figure 8 slice: the 16-node SMTp cells (3 apps 2-way + the
+# 1-way contrast point, tiny preset) that make the paper's scaling
+# grid affordable under the fused multi-threaded fast path.  Runs the
+# fig8 grid gated against the committed BENCH_fig8.json (same >25%
+# rule + pre_smt_compile speedup floors as `make smoke`), then holds
+# the freshly written trajectory against a snapshot of the committed
+# one with tools/perf_delta.py, so the A/B survives as two artifacts.
+fig8-smoke:
+	@cp BENCH_fig8.json BENCH_fig8.baseline.json
+	REPRO_BENCH_BEST_OF=5 PYTHONPATH=src $(PYTHON) -m repro sweep \
+		--grid fig8 --name fig8 --jobs 0 --timeout 600 \
+		--refresh --gate BENCH_fig8.json || \
+		{ rm -f BENCH_fig8.baseline.json; exit 1; }
+	$(PYTHON) tools/perf_delta.py BENCH_fig8.baseline.json \
+		BENCH_fig8.json; status=$$?; \
+		rm -f BENCH_fig8.baseline.json; exit $$status
 
 # Docs-staleness gate: every --flag a doc mentions must exist in the
 # live --help of the commands it covers, and every sweep/fuzz flag

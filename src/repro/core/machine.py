@@ -91,6 +91,27 @@ class Machine:
         self._cores: List = []
         self._mc_divisor = mp.mc_divisor
         self._watchdog = mp.watchdog_cycles
+        # Active-set scheduler state (:meth:`_event_step`): per-cycle
+        # work is proportional to the number of *active* components,
+        # not ``n_nodes``.  A core leaves the active set when it goes
+        # to sleep (idle, no pending unit wake — its fixup plan is
+        # pinned first); ``core.wake()`` re-registers it.  A memory
+        # controller leaves when a dense step would be a no-op (or a
+        # bare arbitration-parity flip, replayed analytically by
+        # ``mc.fast_forward`` at wake time) until an external event —
+        # input arrival or the SMTp port freeing — each of which calls
+        # ``mc.mc_wake()``.  The dirty flags defer list rebuilds to the
+        # top of the next step.
+        self._active_cores: List = []
+        self._cores_dirty = True
+        self._active_mcs = list(self._mcs)
+        self._mc_dirty = False
+        #: Last MC-clock edge whose dispatch phase has been performed
+        #: (densely or analytically) — the settle boundary for sleeping
+        #: controllers' parity replay.
+        self._mc_edge_done = 0
+        for node in self.nodes:
+            node.mc.machine = self
         #: Idle cycles the run loops fast-forwarded over instead of
         #: densely polling every component.
         self.skipped_cycles = 0
@@ -128,17 +149,18 @@ class Machine:
             # Wake contract: asynchronous completion paths call
             # ``core.wake()`` so a sleeping core is stepped densely on
             # the cycle its input state changes (see DESIGN.md).
-            node.hierarchy.mshrs.on_free = core.wake
+            node.hierarchy.mshrs.on_free = core.wake_quiet
             for buf in (
                 node.hierarchy.ibypass,
                 node.hierarchy.dbypass,
                 node.hierarchy.l2bypass,
             ):
-                buf.on_fill = core.wake
+                buf.on_fill = core.wake_quiet
             for source in sources:
                 if hasattr(source, "on_wake"):
-                    source.on_wake = core.wake
+                    source.on_wake = core.wake_fetch
         self._cores = [n.core for n in self.nodes if n.core is not None]
+        self._cores_dirty = True
 
     def finish(self) -> None:
         """Post-run bookkeeping: peaks, busy-time sampling."""
@@ -164,9 +186,16 @@ class Machine:
             wheel.now = cycle
         if cycle % self._mc_divisor == 0:
             for mc in self._mcs:
+                # Settle any sleep state left by a prior event-driven
+                # loop before stepping densely (no-op when awake).
+                if mc._sleep_from:
+                    mc.mc_wake()
                 mc.step()
+            self._mc_edge_done = cycle
         for core in self._cores:
+            core._asleep = False
             core.step()
+        self._cores_dirty = True
         if cycle - self._progress_cycle > self._watchdog:
             raise DeadlockError(self._deadlock_report())
 
@@ -196,22 +225,57 @@ class Machine:
         else:
             wheel.now = cycle
         if cycle % self._mc_divisor == 0:
-            for mc in self._mcs:
+            if self._mc_dirty:
+                self._active_mcs = [
+                    m for m in self._mcs if m._sleep_from == 0
+                ]
+                self._mc_dirty = False
+            for mc in self._active_mcs:
                 mc.step()
+                # Sleep when a dense step stays a no-op (or a bare
+                # parity flip, replayed by mc.fast_forward at wake)
+                # until an external event: input arrival, or — when
+                # the engine reports None (SMTp port occupied) — the
+                # handler graduating.  Both call mc.mc_wake().
+                if not mc._n_input:
+                    mc._sleep_from = cycle + 1
+                    self._mc_dirty = True
+                else:
+                    engine = mc.engine
+                    if engine is not None and engine.ready_cycle() is None:
+                        mc._sleep_from = cycle + 1
+                        self._mc_dirty = True
+            self._mc_edge_done = cycle
+        if self._cores_dirty:
+            self._active_cores = [c for c in self._cores if not c._asleep]
+            self._cores_dirty = False
         awake = False
-        for core in self._cores:
+        for core in self._active_cores:
             if core._worked or core._wake_flag or 0 < core._unit_wake <= cycle:
-                core.step()
+                # core.step() with its mode dispatch hoisted (one
+                # wrapper frame per awake core-cycle).
+                if core._use_nt:
+                    core._step_nt()
+                elif core._use_1t:
+                    core._step_1t()
+                else:
+                    core.step()
                 if core._worked or core._wake_flag:
                     awake = True
-            elif core._ff_plan is None:
-                # Start of a sleep period: pin the fixup plan and the
-                # anchor cycle (the core's inputs are frozen as of this
-                # cycle).  No per-cycle bookkeeping after this — the
-                # owed fixup count is derived from the clock when
-                # core.step()/collect_stats flushes it.
-                core._ff_plan = core._build_ff_plan()
-                core._ff_anchor = cycle
+            else:
+                if core._ff_plan is None:
+                    # Start of a sleep period: pin the fixup plan and
+                    # the anchor cycle (the core's inputs are frozen as
+                    # of this cycle).  No per-cycle bookkeeping after
+                    # this — the owed fixup count is derived from the
+                    # clock when core.step()/collect_stats flushes it.
+                    core._ff_plan = core._build_ff_plan()
+                    core._ff_anchor = cycle
+                if core._unit_wake == 0:
+                    # No pending time-gated check either: leave the
+                    # active set entirely.  core.wake() re-registers.
+                    core._asleep = True
+                    self._cores_dirty = True
         if cycle - self._progress_cycle > self._watchdog:
             raise DeadlockError(self._deadlock_report())
         if self.sanitizer is not None:
@@ -230,8 +294,22 @@ class Machine:
         else:
             wheel.now = cycle
         if cycle % self._mc_divisor == 0:
-            for mc in self._mcs:
+            if self._mc_dirty:
+                self._active_mcs = [
+                    m for m in self._mcs if m._sleep_from == 0
+                ]
+                self._mc_dirty = False
+            for mc in self._active_mcs:
                 mc.step()
+                if not mc._n_input:
+                    mc._sleep_from = cycle + 1
+                    self._mc_dirty = True
+                else:
+                    engine = mc.engine
+                    if engine is not None and engine.ready_cycle() is None:
+                        mc._sleep_from = cycle + 1
+                        self._mc_dirty = True
+            self._mc_edge_done = cycle
         core = self._cores[0]
         awake = False
         if core._worked or core._wake_flag or 0 < core._unit_wake <= cycle:
@@ -379,6 +457,22 @@ class Machine:
             best = nxt
         d = self._mc_divisor
         for mc in self._mcs:
+            if mc._sleep_from:
+                # Sleeping controller: no dispatchable input can appear
+                # without an (event-driven) mc_wake, and its owed
+                # parity flips settle analytically there.  A *future*
+                # engine readiness still needs a timed wake, though:
+                # time-based engines (PPEngine) turn idle()/busy() by
+                # the mere passage of wheel time, and ``quiesce`` must
+                # observe that edge rather than skip past it to its
+                # deadline.  (SMTpPort returns only None/0 here, so
+                # thread-engine models never produce such a wake.)
+                engine = mc.engine
+                if engine is not None:
+                    ready = engine.ready_cycle()
+                    if ready is not None and now < ready < best:
+                        best = ready
+                continue
             engine = mc.engine
             if engine is None:
                 continue
@@ -418,7 +512,14 @@ class Machine:
         start = self.cycle + 1
         end = self.cycle + skipped
         for mc in self._mcs:
-            mc.fast_forward(start, end, d)
+            # Sleeping controllers settle their whole owed window (which
+            # includes this skip) at mc_wake() time; replaying here too
+            # would double-count the parity flips.
+            if mc._sleep_from == 0:
+                mc.fast_forward(start, end, d)
+        edge = end - end % d
+        if edge > self._mc_edge_done:
+            self._mc_edge_done = edge
 
     def busy(self) -> bool:
         if len(self.wheel):
@@ -450,6 +551,13 @@ class Machine:
         """
         from repro.sim import checkpoint
 
+        # Settle active-set sleep state so the serialized arbitration
+        # parity and stall counters match a dense-stepped machine's.
+        for mc in self._mcs:
+            if mc._sleep_from:
+                mc.mc_wake()
+        for core in self._cores:
+            core.flush_idle_fixup(through=True)
         return checkpoint.snapshot(self)
 
     @staticmethod

@@ -86,6 +86,16 @@ class SMTpPort:
             return
         if not self.las and self.started_count != self.committed_count:
             return
+        # Acceptance is about to flip (ready_cycle None -> 0): settle
+        # the host controller's slept window under the old readiness
+        # and put it back in the machine's active set — with a request
+        # queued it dispatches on the next MC-clock edge, exactly as a
+        # densely stepped controller would.  This is the only place
+        # ``pending`` clears, so every port-side acceptance edge lands
+        # on an mc_wake() settle boundary.
+        mc = self.source.node.mc
+        if mc._sleep_from:
+            mc.mc_wake()
         ctx = self.pending
         self.pending = None
         self.started_count += 1

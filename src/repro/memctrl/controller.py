@@ -127,6 +127,16 @@ class MemoryController:
         # machine's wake scan test this instead of walking the queues
         # on every MC-clock edge of every controller.
         self._n_input = 0
+        #: Active-set scheduler state: first MC-clock cycle not stepped
+        #: densely (0 = in the machine's active set).  While sleeping,
+        #: the owed dispatch-poll side effects (the arbitration-parity
+        #: flips of :meth:`step`) are replayed by :meth:`mc_wake` via
+        #: :meth:`fast_forward`; every input-arrival site settles
+        #: *before* mutating state so engine readiness and queue
+        #: emptiness are constant over the replayed window.
+        self._sleep_from = 0
+        #: Backref installed by :class:`repro.core.machine.Machine`.
+        self.machine = None
         # Active-memory extension: waiters per word, FIFO.
         self._am_pending: Dict[int, List[Callable[[int], None]]] = {}
 
@@ -172,6 +182,8 @@ class MemoryController:
 
     def _enqueue_local(self, msg: Message) -> None:
         if self.local_queue.push(msg):
+            if self._sleep_from:
+                self.mc_wake()
             self._n_input += 1
         else:
             self.wheel.schedule(
@@ -224,6 +236,8 @@ class MemoryController:
         """Fabric delivery; False applies backpressure."""
         if not self.ni_in[msg.vn].push(msg):
             return False
+        if self._sleep_from:
+            self.mc_wake()
         self._n_input += 1
         self.stats.messages_in += 1
         if msg.mtype in (MsgType.GET, MsgType.GETX, MsgType.UPGRADE):
@@ -251,6 +265,23 @@ class MemoryController:
     def has_pending_input(self) -> bool:
         """Any dispatchable message queued (activity-contract probe)."""
         return self._n_input > 0
+
+    def mc_wake(self) -> None:
+        """Leave per-controller sleep: replay the owed dispatch-poll
+        side effects over the slept window and rejoin the machine's
+        active set.  Called by every input-arrival site (before the
+        enqueue) and by the SMTp port when its handler graduates
+        (before acceptance flips) — so the window replayed by
+        :meth:`fast_forward` saw constant engine readiness and empty
+        queues, exactly the conditions its closed form assumes."""
+        sf = self._sleep_from
+        if sf:
+            self._sleep_from = 0
+            m = self.machine
+            m._mc_dirty = True
+            end = m._mc_edge_done
+            if end >= sf:
+                self.fast_forward(sf, end, m._mc_divisor)
 
     def fast_forward(self, start: int, end: int, divisor: int) -> None:
         """Replay the side effect of the idle dispatch polls this MC
@@ -441,6 +472,8 @@ class MemoryController:
             found=found,
         )
         reply.probe_kind = probe_kind
+        if self._sleep_from:
+            self.mc_wake()
         self.probe_replies.append(reply)
         self._n_input += 1
 

@@ -34,7 +34,7 @@ from heapq import heappop, heappush
 from operator import attrgetter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.apps.compile import app_interp_forced
+from repro.apps.compile import app_interp_forced, smt_interp_forced
 from repro.caches.hierarchy import BLOCKED, HIT, MISS
 from repro.common.params import ProcessorParams
 from repro.common.queues import DualQueue, ReservedPool
@@ -187,6 +187,11 @@ class SMTCore:
         self._worked = True
         self._wake_flag = True
         self._unit_wake = 0
+        # Out of the machine's active set (active-set scheduler): set
+        # by Machine._event_step when idle with no pending unit wake,
+        # cleared by wake().  While True the machine pays nothing per
+        # cycle for this core.
+        self._asleep = False
         # Cached idle fixup (see fast_forward); invalidated by any step.
         self._ff_plan: Optional[list] = None
         # First skipped cycle of the current sleep period.  While
@@ -271,6 +276,43 @@ class SMTCore:
         self._use_1t = (
             self._fast and len(self.threads) == 1 and self._t0.compiled_src
         )
+        # Fused multi-threaded path (_step_nt): SMTp cores (app +
+        # protocol contexts) and ways>=2 cells.  Requires the compiled
+        # app tier (the superblock fetch feeds it) and the standard
+        # ICOUNT(2,8) fetch (the inlined top-2 selection assumes two
+        # fetch slots).  REPRO_SMT_INTERP=1 keeps such cores on the
+        # generic step() reference.
+        self._use_nt = (
+            self._fast
+            and not smt_interp_forced()
+            and len(self.threads) >= 2
+            and self.pp.fetch_threads_per_cycle == 2
+        )
+        self._tproto = (
+            self.threads[self.proto_tid] if self.proto_tid >= 0 else None
+        )
+        # Per-section rename-stall latches for _step_nt — the two-
+        # section generalization of _rn_wait: a section whose queue
+        # head bounced off a full resource is skipped until issue,
+        # retire (code 2 only), or squash frees something.  Renames
+        # only consume resources, so one section renaming never
+        # unblocks the other; the clears are shared with _rn_wait's
+        # (conservative: any free clears both sections).
+        self._rn_wait_app = 0
+        self._rn_wait_proto = 0
+        # Fixed thread set after construction: the per-thread memory
+        # FIFOs as a list, saving the dict-items walk per issue cycle.
+        self._mem_items = list(self._mem_fifo.items())
+        # Quiet-stage latches for _step_nt.  In a stall-only cycle the
+        # commit scan's outcome (which threads charge which stall
+        # counter, no head retirable) and the fetch scan's no-candidate
+        # verdict are pure functions of state that only changes through
+        # wake()/_complete() events or this core's own retire/rename/
+        # squash work — every such site clears the latches, so the
+        # ~70% of awake cycles that neither retire nor fetch shrink to
+        # a few counter bumps.
+        self._cm_stall: Optional[List[Tuple[ThreadStats, bool]]] = None
+        self._fetch_idle = False
 
     # ------------------------------------------------------------------
     @property
@@ -319,6 +361,39 @@ class SMTCore:
         :meth:`step` guards against.
         """
         self._wake_flag = True
+        self._cm_stall = None
+        self._fetch_idle = False
+        if self._asleep:
+            # Rejoin the machine's active set (active-set scheduler).
+            self._asleep = False
+            m = self.machine
+            if m is not None:
+                m._cores_dirty = True
+
+    def wake_fetch(self) -> None:
+        """:meth:`wake` for events that can only create fetch
+        candidates (thread-program sleep expiry / sync unpark): the
+        commit scan's cached stall verdict still holds."""
+        self._wake_flag = True
+        self._fetch_idle = False
+        if self._asleep:
+            self._asleep = False
+            m = self.machine
+            if m is not None:
+                m._cores_dirty = True
+
+    def wake_quiet(self) -> None:
+        """:meth:`wake` for pure progress pokes (MSHR frees, bypass
+        fills): they unblock deferred *issue* retries, which touch
+        neither the commit heads nor the fetch candidate set — any
+        state change they lead to arrives later via
+        :meth:`_complete`."""
+        self._wake_flag = True
+        if self._asleep:
+            self._asleep = False
+            m = self.machine
+            if m is not None:
+                m._cores_dirty = True
 
     def fast_forward(self, skipped: int) -> None:
         """Replay ``skipped`` idle steps' per-cycle side effects.
@@ -370,6 +445,14 @@ class SMTCore:
             if m is not None:
                 m.skipped_core_steps += pending
         self._ff_plan = None
+        if through and self._asleep:
+            # Mid-sleep stats flush (collect_stats / end of a run
+            # loop): the machine's event loop no longer visits this
+            # core, so re-pin the plan here — inputs are still frozen,
+            # the rebuilt plan equals the one just flushed — or the
+            # sleep period's remaining idle cycles would go unaccounted.
+            self._ff_plan = self._build_ff_plan()
+            self._ff_anchor = self.wheel.now + 1
 
     def _build_ff_plan(self) -> list:
         """The per-idle-cycle counter increments, as (object, attribute)
@@ -395,6 +478,9 @@ class SMTCore:
     def step(self) -> None:
         if self._use_1t:
             self._step_1t()
+            return
+        if self._use_nt:
+            self._step_nt()
             return
         if self._ff_plan is not None:
             self.flush_idle_fixup()
@@ -567,6 +653,468 @@ class SMTCore:
                     self._fetch_thread(t, self._fetch_width)
             elif t.source.peek_available():
                 self._fetch_thread_fast(t, self._fetch_width)
+
+    def _step_nt(self) -> None:
+        """:meth:`step`, fused for multi-threaded cores — SMTp cores
+        (application thread(s) + protocol thread) and ways>=2 cells.
+
+        Observationally identical to :meth:`step`: same stage order,
+        same per-cycle side effects (stall counters, section-priority
+        parity), same ``_worked``/``_unit_wake`` accounting.  The stage
+        bodies are the fused forms: :meth:`_commit_nt` (retire loop
+        with the app-side :meth:`_retire` inlined), :meth:`_issue_nt`
+        (:meth:`_issue_fast` with per-issue bookkeeping inlined), an
+        inline rename loop gated by *per-section* stall latches (the
+        two-section generalization of ``_rn_wait``), and
+        :meth:`_fetch_nt` (ICOUNT selection without the sort, fetching
+        through the superblock/compiled-PP fast loops).
+        ``REPRO_SMT_INTERP=1`` keeps such cores on :meth:`step`.
+        """
+        if self._ff_plan is not None:
+            self.flush_idle_fixup()
+        self.cycle = self.wheel.now
+        self._worked = self._wake_flag
+        self._wake_flag = False
+        self._unit_wake = 0
+        tp = self._tproto
+        if tp is not None:
+            src = tp.source
+            port = src.port
+            if port is not None:
+                # port.idle() inlined (Table 7): the protocol thread is
+                # "active" while a handler has effects in flight; a
+                # SWITCH idling at the head waiting for traffic does
+                # not count.
+                if port.pending is not None or src.fetching or src._buffer:
+                    self.node.stats.protocol.busy_cycles += 1
+                else:
+                    for u in tp.rob:
+                        k = u.kind
+                        if k is not UopKind.SWITCH and k is not UopKind.LDCTXT:
+                            self.node.stats.protocol.busy_cycles += 1
+                            break
+        self._commit_nt()
+        if self._iqr or self._fqr or self._mem_ready:
+            self._issue_nt()
+        # -- rename (per-section stall latches) ------------------------
+        rq = self.rename_q
+        first_proto = rq._proto_first
+        rq._proto_first = not first_proto
+        rqp = rq.proto
+        rqa = rq.app
+        if rqp or rqa:
+            renamed = 0
+            width = self._few
+            for protocol in ((True, False) if first_proto else (False, True)):
+                src = rqp if protocol else rqa
+                if not src:
+                    continue
+                if self._rn_wait_proto if protocol else self._rn_wait_app:
+                    # Latched head: nothing freed since it last bounced,
+                    # so the reference's per-cycle retry is a guaranteed
+                    # failure (see __init__) — skip the section.
+                    continue
+                renamed += self._rename_nt(src, protocol, width - renamed)
+                if renamed >= width:
+                    break
+            if renamed:
+                self._worked = True
+        # -- decode ----------------------------------------------------
+        dq = self.decode_q
+        if dq.proto or dq.app:
+            self._decode_stage_fast()
+            # Decode may have freed decode-queue room: a fetch scan
+            # latched on a full queue must re-run.
+            self._fetch_idle = False
+        else:
+            dq._proto_first = not dq._proto_first
+        self._fetch_nt()
+
+    def _rename_nt(self, src: Deque[Uop], protocol: bool, budget: int) -> int:
+        """One rename-queue section of :meth:`_step_nt`'s rename stage:
+        :meth:`_try_rename` and :meth:`RegfileUnit.rename` fused into a
+        single loop (the two-section generalization of
+        :meth:`_rename_1t`).  ``protocol`` fixes the pool bounds and
+        register-floor for the whole section, so every resource check
+        is plain arithmetic over hoisted locals; check order, acquire
+        order and issue routing match :meth:`_try_rename` exactly.
+        Returns the number renamed; a resource bounce latches the
+        section's ``_rn_wait_*`` code and stops the section.
+        """
+        threads = self.threads
+        rn = self.rename
+        al = self._active_list
+        int_map = rn.int_map
+        fp_map = rn.fp_map
+        int_ready = rn.int_ready
+        fp_ready = rn.fp_ready
+        waiters = rn._waiters
+        free_int = rn._free_int
+        free_fp = rn._free_fp
+        int_floor = 0 if protocol else rn.reserved_int
+        iq_pool = self.iq_pool
+        fq_pool = self.fq_pool
+        lsq_pool = self.lsq_pool
+        bstack_pool = self.bstack_pool
+        if protocol:
+            iq_cap = iq_pool.total
+            fq_cap = fq_pool.total
+            lsq_cap = lsq_pool.total
+            bs_cap = bstack_pool.total
+        else:
+            iq_cap = self._iq_cap
+            fq_cap = self._fq_cap
+            lsq_cap = self._lsq_cap
+            bs_cap = self._bs_cap
+        renamed = 0
+        while renamed < budget:
+            uop = src[0]
+            tid = uop.thread
+            t = threads[tid]
+            commit_stage = uop.commit_stage
+            is_fp = uop.is_fp
+            if not commit_stage:
+                if is_fp:
+                    if fq_pool.app_used + fq_pool.proto_used >= fq_cap:
+                        code = 1
+                        break
+                elif iq_pool.app_used + iq_pool.proto_used >= iq_cap:
+                    code = 1
+                    break
+            if len(t.rob) >= al:
+                code = 2
+                break
+            dest = uop.dest
+            if dest is not None:
+                if dest >= FP_BASE:
+                    if not free_fp:
+                        code = 2
+                        break
+                elif len(free_int) <= int_floor:
+                    code = 2
+                    break
+            is_mem = uop.is_memory
+            needs_lsq = is_mem or (
+                commit_stage and uop.kind is not UopKind.UNCACHED
+            )
+            if needs_lsq and (
+                lsq_pool.app_used + lsq_pool.proto_used >= lsq_cap
+            ):
+                code = 2
+                break
+            is_branch = uop.is_branch
+            if is_branch:
+                if bstack_pool.app_used + bstack_pool.proto_used >= bs_cap:
+                    code = 2
+                    break
+                if protocol:
+                    bp_used = bstack_pool.proto_used + 1
+                    bstack_pool.proto_used = bp_used
+                    if bp_used > bstack_pool.proto_peak:
+                        bstack_pool.proto_peak = bp_used
+                else:
+                    bstack_pool.app_used += 1
+                uop.checkpoint = rn.checkpoint(tid, t.ras.snapshot())
+            if needs_lsq:
+                if protocol:
+                    lp_used = lsq_pool.proto_used + 1
+                    lsq_pool.proto_used = lp_used
+                    if lp_used > lsq_pool.proto_peak:
+                        lsq_pool.proto_peak = lp_used
+                else:
+                    lsq_pool.app_used += 1
+                uop.in_lsq = True
+                if is_mem and uop.kind is not UopKind.PREFETCH:
+                    uop.mem_seq = t.mem_seq_next
+                    t.mem_seq_next += 1
+            # rename.rename(uop), inlined (identical source mapping,
+            # waiter registration and dest allocation).
+            imap = int_map[tid]
+            fmap = fp_map[tid]
+            srcs = uop.srcs
+            if srcs:
+                n_wait = 0
+                psrcs: List[int] = []
+                for s in srcs:
+                    if s >= FP_BASE:
+                        r = fmap[s - FP_BASE]
+                        p = r + (1 << 20)
+                        ready = fp_ready[r]
+                    else:
+                        p = imap[s]
+                        ready = int_ready[p]
+                    psrcs.append(p)
+                    if not ready:
+                        n_wait += 1
+                        lst = waiters.get(p)
+                        if lst is None:
+                            waiters[p] = [uop]
+                        else:
+                            lst.append(uop)
+                uop.psrcs = tuple(psrcs)
+                uop.n_wait = n_wait
+            else:
+                uop.psrcs = ()
+            if dest is not None:
+                if dest >= FP_BASE:
+                    preg = free_fp.pop()
+                    fp_ready[preg] = False
+                    uop.pdest = preg + (1 << 20)
+                    uop.pdest_old = fmap[dest - FP_BASE] + (1 << 20)
+                    fmap[dest - FP_BASE] = preg
+                else:
+                    preg = free_int.pop()
+                    int_ready[preg] = False
+                    uop.pdest = preg
+                    uop.pdest_old = imap[dest]
+                    imap[dest] = preg
+                    if protocol:
+                        held = rn.proto_int_held + 1
+                        rn.proto_int_held = held
+                        if held > rn.proto_int_peak:
+                            rn.proto_int_peak = held
+            rob = t.rob
+            if not rob:
+                # A new head appears on an empty window: the commit
+                # scan's cached stall verdict no longer holds.
+                self._cm_stall = None
+            rob.append(uop)
+            if not commit_stage:
+                if protocol:
+                    pool = fq_pool if is_fp else iq_pool
+                    p_used = pool.proto_used + 1
+                    pool.proto_used = p_used
+                    if p_used > pool.proto_peak:
+                        pool.proto_peak = p_used
+                elif is_fp:
+                    fq_pool.app_used += 1
+                else:
+                    iq_pool.app_used += 1
+                pos = self._iq_pos + 1
+                self._iq_pos = pos
+                uop.iq_pos = pos
+                if is_mem:
+                    if uop.kind is UopKind.PREFETCH:
+                        self._pf_fifo.append(uop)
+                    else:
+                        self._mem_fifo[tid].append(uop)
+                    if not uop.n_wait:
+                        self._mem_ready += 1
+                elif not uop.n_wait:
+                    heappush(
+                        self._fqr if is_fp else self._iqr, (pos, uop)
+                    )
+            src.popleft()
+            renamed += 1
+            if not src:
+                return renamed
+        else:
+            return renamed
+        # Resource bounce: latch the section (loop exited via break).
+        self._rn_wait = code
+        if protocol:
+            self._rn_wait_proto = code
+        else:
+            self._rn_wait_app = code
+        return renamed
+
+    def _commit_nt(self) -> None:
+        """:meth:`_commit` with the application-side :meth:`_retire`
+        inlined (plain app-pool arithmetic and free-list pushes, as in
+        :meth:`_step_1t`'s commit).  Protocol and commit-stage µops
+        take the shared :meth:`_retire` — they are rare and carry the
+        commit-stage kinds (UNCACHED/LDCTXT/SWITCH) and protocol stats.
+        """
+        threads = self.threads
+        cache = self._cm_stall
+        if cache is not None:
+            # Stall-only fast path: since the cache was built, no event
+            # that could change any head's retirability has fired (see
+            # the latch contract in __init__), so the scan's outcome is
+            # the same per-thread stall charges, no head ready.
+            for stats, mem in cache:
+                if mem:
+                    stats.memory_stall_cycles += 1
+                else:
+                    stats.other_stall_cycles += 1
+            self._rr = (self._rr + 1) % len(threads)
+            for t in self._app_threads:
+                if not t.done and not t.rob and t.icount == 0 and t.source.done:
+                    t.done = True
+                    t.stats.finish_cycle = self.cycle
+                    t.stats.done = True
+                    self._worked = True
+            return
+        sb = self.sb_pool
+        sb_total = sb.total
+        sb_app_cap = sb_total - sb.reserved
+        tp = self._tproto
+        proto_port = tp.source.port if tp is not None else None
+        any_ready = False
+        stalls: List[Tuple[ThreadStats, bool]] = []
+        for t in threads:
+            rob = t.rob
+            if rob:
+                head = rob[0]
+                if head.completed:
+                    if head.kind is not UopKind.STORE or (
+                        sb.app_used + sb.proto_used
+                        < (sb_total if head.protocol else sb_app_cap)
+                    ):
+                        any_ready = True
+                        continue
+                elif head.commit_stage:
+                    # _retirable, inlined: UNCACHED executes right at
+                    # retirement; SWITCH/LDCTXT graduate once the
+                    # dispatch unit has handed out the next request
+                    # (port.switch_satisfied).
+                    if head.kind is UopKind.UNCACHED:
+                        any_ready = True
+                        continue
+                    ctx = head.ctx
+                    if (
+                        ctx is not None
+                        and proto_port.dispatched_count >= ctx.index + 2
+                    ):
+                        any_ready = True
+                        continue
+                if head.is_memory:
+                    t.stats.memory_stall_cycles += 1
+                    stalls.append((t.stats, True))
+                else:
+                    t.stats.other_stall_cycles += 1
+                    stalls.append((t.stats, False))
+        if not any_ready:
+            self._cm_stall = stalls
+        n = len(threads)
+        committed_any = False
+        if any_ready:
+            # Retires can create fetch candidates (SWITCH/LDCTXT
+            # graduation pumps try_start; icount drops; threads finish).
+            self._fetch_idle = False
+            budget = self._commit_width
+            rr = self._rr
+            rn = self.rename
+            free_fp = rn._free_fp
+            free_int = rn._free_int
+            for i in range(n):
+                t = threads[(rr + i) % n]
+                rob = t.rob
+                if not rob:
+                    continue
+                stats = t.stats
+                committed = 0
+                spin_committed = 0
+                proto_inline = 0
+                while budget > 0 and rob:
+                    head = rob[0]
+                    if head.completed:
+                        if head.kind is UopKind.STORE and (
+                            sb.app_used + sb.proto_used
+                            >= (sb_total if head.protocol else sb_app_cap)
+                        ):
+                            break
+                    elif head.commit_stage:
+                        # _retirable, inlined (as in the stall scan).
+                        if head.kind is not UopKind.UNCACHED:
+                            ctx = head.ctx
+                            if (
+                                ctx is None
+                                or proto_port.dispatched_count
+                                < ctx.index + 2
+                            ):
+                                break
+                    else:
+                        break
+                    if head.commit_stage:
+                        self._retire(t, head)
+                    elif head.protocol:
+                        # Protocol µop, no commit-stage kind: _retire
+                        # inlined with proto-side pool/register
+                        # arithmetic (release is a plain decrement;
+                        # sb acquire tracks the Table 9 peak).
+                        self._rn_wait &= 1
+                        self._rn_wait_app &= 1
+                        self._rn_wait_proto &= 1
+                        kind = head.kind
+                        if kind is UopKind.STORE:
+                            sbp = sb.proto_used + 1
+                            sb.proto_used = sbp
+                            if sbp > sb.proto_peak:
+                                sb.proto_peak = sbp
+                            fifo = self._sb_fifo[head.thread]
+                            fifo.append(head)
+                            if len(fifo) == 1:
+                                self._drain_store(head)
+                            stats.stores += 1
+                        elif kind is UopKind.LOAD:
+                            stats.loads += 1
+                        if head.in_lsq:
+                            self.lsq_pool.proto_used -= 1
+                        if head.is_branch:
+                            self.bstack_pool.proto_used -= 1
+                        p = head.pdest_old
+                        if p != -1:
+                            if p >= 1 << 20:
+                                free_fp.append(p - (1 << 20))
+                            else:
+                                free_int.append(p)
+                                rn.proto_int_held -= 1
+                        committed += 1
+                        proto_inline += 1
+                        if head.spin:
+                            spin_committed += 1
+                    else:
+                        # App µop: _retire inlined (no commit-stage
+                        # kinds, releases as plain app-side arithmetic).
+                        self._rn_wait &= 1
+                        self._rn_wait_app &= 1
+                        self._rn_wait_proto &= 1
+                        kind = head.kind
+                        if kind is UopKind.STORE:
+                            sb.app_used += 1
+                            fifo = self._sb_fifo[head.thread]
+                            fifo.append(head)
+                            if len(fifo) == 1:
+                                self._drain_store(head)
+                            stats.stores += 1
+                        elif kind is UopKind.LOAD:
+                            stats.loads += 1
+                        if head.in_lsq:
+                            self.lsq_pool.app_used -= 1
+                        if head.is_branch:
+                            self.bstack_pool.app_used -= 1
+                        p = head.pdest_old
+                        if p != -1:
+                            if p >= 1 << 20:
+                                free_fp.append(p - (1 << 20))
+                            else:
+                                free_int.append(p)
+                        committed += 1
+                        if head.spin:
+                            spin_committed += 1
+                    rob.popleft()
+                    budget -= 1
+                    committed_any = True
+                if committed:
+                    stats.committed += committed
+                    stats.spin_committed += spin_committed
+                if proto_inline:
+                    self.node.stats.protocol.instructions += proto_inline
+                if budget <= 0:
+                    break
+        self._rr = (self._rr + 1) % n
+        if committed_any:
+            self._worked = True
+            m = self.machine
+            if m is not None:
+                m._progress_cycle = m.cycle  # note_progress, inlined
+        for t in self._app_threads:
+            if not t.done and not t.rob and t.icount == 0 and t.source.done:
+                t.done = True
+                t.stats.finish_cycle = self.cycle
+                t.stats.done = True
+                self._worked = True
 
     # ------------------------------------------------------------------
     # Fetch
@@ -764,6 +1312,168 @@ class SMTCore:
             self._worked = True
         return budget - consumed
 
+    def _fetch_nt(self) -> None:
+        """ICOUNT(2,8) fetch for the fused multi-threaded path.
+
+        Same candidate set and selection as :meth:`_fetch`, with the
+        build-list-and-sort replaced by a single top-2 scan: the sort
+        key ``(icount, not protocol)`` packs into one integer
+        (``icount`` is non-negative) and strict-less-than comparisons
+        keep the earlier thread on ties, exactly like the stable sort.
+        Selected threads fetch through the compiled loops — superblock
+        fetch for compiled app sources, the inline protocol-buffer loop
+        for the protocol thread — falling back to the reference
+        :meth:`_fetch_thread` for wrong-path fill and interpreted
+        sources.
+        """
+        if self._fetch_idle:
+            # Latched no-candidate verdict: every thread was done,
+            # stalled, parked, or out of decode room at the last scan,
+            # and no event that could change that has fired since (see
+            # the latch contract in __init__).  In particular no source
+            # refill is skipped: a latched thread's source was parked
+            # (waiting/sleeping/done) or blocked before its
+            # peek_available test, so the reference scan would not have
+            # advanced it either.
+            return
+        dq = self.decode_q
+        occupancy = len(dq.app) + len(dq.proto)
+        app_room = occupancy < dq.capacity - dq.reserved
+        proto_room = occupancy < dq.capacity
+        best = None
+        second = None
+        bk = sk = 0
+        for t in self.threads:
+            if t.protocol:
+                if not proto_room:
+                    continue
+            elif not app_room:
+                continue
+            if t.done or t.fetch_stalled:
+                continue
+            if t.wrongpath_branch is not None:
+                if t.wp_emitted >= WRONG_PATH_CAP:
+                    continue
+            elif t.protocol:
+                src = t.source
+                if not src._buffer and not src.fetching:
+                    continue  # peek_available, inlined
+            elif t.compiled_src:
+                src = t.source
+                if src.pos >= len(src.k.buffer) and (
+                    # peek_available's parked fast-reject, inlined: in
+                    # these states it returns False with no refill.
+                    src._waiting
+                    or src._sleeping
+                    or src._done
+                    or not src.peek_available()
+                ):
+                    continue
+            elif not t.source.peek_available():
+                continue
+            k = (t.icount << 1) | (not t.protocol)
+            if best is None:
+                best = t
+                bk = k
+            elif k < bk:
+                second = best
+                sk = bk
+                best = t
+                bk = k
+            elif second is None or k < sk:
+                second = t
+                sk = k
+        if best is None:
+            self._fetch_idle = True
+            return
+        budget = self._fetch_width
+        if best.wrongpath_branch is not None:
+            budget = self._fetch_thread(best, budget)
+        elif best.protocol:
+            budget = self._fetch_thread_proto(best, budget)
+        elif best.compiled_src:
+            budget = self._fetch_thread_fast(best, budget)
+        else:
+            budget = self._fetch_thread(best, budget)
+        if second is not None and budget > 0:
+            t = second
+            if t.wrongpath_branch is not None:
+                self._fetch_thread(t, budget)
+            elif t.protocol:
+                self._fetch_thread_proto(t, budget)
+            elif t.compiled_src:
+                self._fetch_thread_fast(t, budget)
+            else:
+                self._fetch_thread(t, budget)
+
+    def _fetch_thread_proto(self, t: ThreadContext, budget: int) -> int:
+        """Correct-path fetch for the protocol thread.
+
+        The per-µop loop of :meth:`_fetch_thread` with the source
+        interface inlined for :class:`ProtocolThreadSource` — buffered
+        µops off the list head, then the compiled PP engine's emit
+        closure (or the reference ``_make_uop``) while a handler is
+        fetching — and the I-cache probe reduced to a line-change test.
+        Same µops in the same order, same stats, same stall/redirect
+        points as the reference loop.
+        """
+        dq = self.decode_q
+        room = dq.capacity - len(dq.app) - len(dq.proto)
+        if room <= 0:
+            return budget
+        src = t.source
+        buf = src._buffer
+        dqp = dq.proto
+        seq = self._seq
+        line = t.cur_fetch_line
+        hierarchy = self.hierarchy
+        consumed = 0
+        while budget > 0 and room > 0:
+            if buf:
+                uop = buf.pop(0)
+            elif src.fetching:
+                emit = src._emit
+                uop = emit(src) if emit is not None else src._make_uop()
+                if uop is None:
+                    break
+            else:
+                break
+            pc_line = uop.pc >> 6
+            if pc_line != line:
+                result = hierarchy.ifetch(
+                    uop.pc, True, on_complete=partial(self._ifill_done, t)
+                )
+                if result[0] != HIT:
+                    t.fetch_stalled = True
+                    self._worked = True  # the probe recorded I-side stats
+                    buf.insert(0, uop)  # push_back, inlined
+                    break
+                line = pc_line
+            seq += 1
+            uop.seq = seq
+            budget -= 1
+            room -= 1
+            consumed += 1
+            taken_redirect = False
+            if uop.is_branch:
+                taken_redirect = self._predict(t, uop)
+            dqp.append(uop)
+            if uop.kind is UopKind.LDCTXT:
+                break  # handler fetch complete; PPCV cleared by source
+            if uop.mispredicted and t.wrongpath_branch is None:
+                t.wrongpath_branch = uop
+                t.wp_emitted = 0
+                t.wp_pc = uop.pc + 4
+                break
+            if taken_redirect:
+                break  # fetch run ends at a predicted-taken branch
+        t.cur_fetch_line = line
+        if consumed:
+            self._seq = seq
+            t.icount += consumed
+            self._worked = True
+        return budget
+
     def _icache_ok(self, t: ThreadContext, uop: Uop) -> bool:
         line = uop.pc >> 6
         if line == t.cur_fetch_line:
@@ -780,7 +1490,7 @@ class SMTCore:
     def _ifill_done(self, t: ThreadContext) -> None:
         t.fetch_stalled = False
         t.cur_fetch_line = -1
-        self.wake()
+        self.wake_fetch()
 
     def _make_synth(self, t: ThreadContext) -> Uop:
         t.wp_emitted += 1
@@ -1506,6 +2216,192 @@ class SMTCore:
                     heappush(fqr, entry)
                 del gated[:]
 
+    def _issue_nt(self) -> None:
+        """:meth:`_issue_fast` with the per-issue bookkeeping inlined
+        for the fused multi-threaded core: completion scheduling as a
+        direct wheel-heap push (:meth:`_schedule_complete` flattened),
+        pool releases as plain used-counter arithmetic, and every issue
+        clearing the rename-stall latches (an issue frees an IQ/FQ
+        slot, so a latched rename head may now succeed).  Candidate set
+        and order are exactly :meth:`_issue_fast`'s.
+        """
+        cycle = self.cycle
+        threads = self.threads
+        wheel = self.wheel
+        wheel_heap = wheel._heap
+        now = wheel.now
+        iq_pool = self.iq_pool
+        # -- collect memory candidates --------------------------------
+        mem: List[Uop] = []
+        if self._mem_ready:
+            sb_fifo = self._sb_fifo
+            for tid, fifo in self._mem_items:
+                while fifo and fifo[0].squashed:
+                    if not fifo[0].n_wait:
+                        self._mem_ready -= 1
+                    fifo.popleft()
+                if not fifo:
+                    continue
+                head = fifo[0]
+                if head.n_wait:
+                    continue
+                t = threads[tid]
+                if head.mem_seq != t.mem_issue_next:
+                    continue
+                if head.kind is UopKind.ATOMIC and not (
+                    t.rob and t.rob[0] is head and not sb_fifo[tid]
+                ):
+                    continue
+                mem.append(head)
+            pf = self._pf_fifo
+            while pf and pf[0].squashed:
+                self._mem_ready -= 1  # prefetches are always ready
+                pf.popleft()
+            if pf:
+                mem.append(pf[0])
+            if len(mem) == 2:
+                if mem[0].iq_pos > mem[1].iq_pos:
+                    mem.reverse()
+            elif len(mem) > 2:
+                mem.sort(key=attrgetter("iq_pos"))
+        # -- integer + memory, merged in admission order ---------------
+        alu = 6
+        iqr = self._iqr
+        gated = self._gated  # persistent scratch; always left empty
+        if not mem:
+            while alu > 0 and iqr:
+                pos, uop = heappop(iqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.DIV:
+                    if self.div_free_at > cycle:
+                        self._note_unit_wake(self.div_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.div_free_at = cycle + self.pp.int_div_latency
+                alu -= 1
+                self._worked = True
+                uop.issued = True
+                threads[uop.thread].icount -= 1
+                if uop.protocol:
+                    iq_pool.proto_used -= 1
+                else:
+                    iq_pool.app_used -= 1
+                self._rn_wait = 0
+                self._rn_wait_app = 0
+                self._rn_wait_proto = 0
+                lat = (_LAT1[uop.kind] if uop.latency == 1
+                       else self._latency_of(uop))
+                wheel._seq += 1
+                heappush(
+                    wheel_heap,
+                    (now + lat, wheel._seq,
+                     partial(self._complete, uop, False)),
+                )
+        else:
+            inf = 1 << 62
+            agu = 1
+            mi = 0
+            mn = len(mem)
+            while True:
+                hpos = iqr[0][0] if (alu > 0 and iqr) else inf
+                mpos = mem[mi].iq_pos if (agu > 0 and mi < mn) else inf
+                if hpos <= mpos:
+                    if hpos == inf:
+                        break
+                    pos, uop = heappop(iqr)
+                    if uop.squashed:
+                        continue
+                    if uop.kind is UopKind.DIV:
+                        if self.div_free_at > cycle:
+                            self._note_unit_wake(self.div_free_at)
+                            gated.append((pos, uop))
+                            continue
+                        self.div_free_at = cycle + self.pp.int_div_latency
+                    alu -= 1
+                    self._worked = True
+                    uop.issued = True
+                    threads[uop.thread].icount -= 1
+                    if uop.protocol:
+                        iq_pool.proto_used -= 1
+                    else:
+                        iq_pool.app_used -= 1
+                    self._rn_wait = 0
+                    self._rn_wait_app = 0
+                    self._rn_wait_proto = 0
+                    lat = (_LAT1[uop.kind] if uop.latency == 1
+                           else self._latency_of(uop))
+                    wheel._seq += 1
+                    heappush(
+                        wheel_heap,
+                        (now + lat, wheel._seq,
+                         partial(self._complete, uop, False)),
+                    )
+                else:
+                    uop = mem[mi]
+                    mi += 1
+                    # Even a BLOCKED attempt records hierarchy stats, so
+                    # an issuable memory µop keeps the core awake.
+                    self._worked = True
+                    if self._issue_mem(uop):
+                        agu -= 1
+                        uop.issued = True
+                        threads[uop.thread].icount -= 1
+                        if uop.protocol:
+                            iq_pool.proto_used -= 1
+                        else:
+                            iq_pool.app_used -= 1
+                        self._rn_wait = 0
+                        self._rn_wait_app = 0
+                        self._rn_wait_proto = 0
+                        if uop.kind is UopKind.PREFETCH:
+                            self._pf_fifo.popleft()
+                        else:
+                            self._mem_fifo[uop.thread].popleft()
+                        self._mem_ready -= 1  # an issued head was ready
+        if gated:
+            for entry in gated:
+                heappush(iqr, entry)
+            del gated[:]
+        # -- floating point -------------------------------------------
+        fqr = self._fqr
+        if fqr:
+            fpu = 3
+            fq_pool = self.fq_pool
+            while fpu > 0 and fqr:
+                pos, uop = heappop(fqr)
+                if uop.squashed:
+                    continue
+                if uop.kind is UopKind.FDIV:
+                    if self.fdiv_free_at > cycle:
+                        self._note_unit_wake(self.fdiv_free_at)
+                        gated.append((pos, uop))
+                        continue
+                    self.fdiv_free_at = cycle + self.pp.fp_div_dp_latency
+                fpu -= 1
+                self._worked = True
+                uop.issued = True
+                threads[uop.thread].icount -= 1
+                if uop.protocol:
+                    fq_pool.proto_used -= 1
+                else:
+                    fq_pool.app_used -= 1
+                self._rn_wait = 0
+                self._rn_wait_app = 0
+                self._rn_wait_proto = 0
+                lat = (_LAT1[uop.kind] if uop.latency == 1
+                       else self._latency_of(uop))
+                wheel._seq += 1
+                heappush(
+                    wheel_heap,
+                    (now + lat, wheel._seq,
+                     partial(self._complete, uop, False)),
+                )
+            if gated:
+                for entry in gated:
+                    heappush(fqr, entry)
+                del gated[:]
+
     def _latency_of(self, uop: Uop) -> int:
         base = _EXEC_LATENCY.get(uop.kind, uop.latency)
         if uop.latency > 1 and uop.kind is UopKind.ALU:
@@ -1601,6 +2497,22 @@ class SMTCore:
 
     def _complete(self, uop: Uop, carry_value: bool = False) -> None:
         self._wake_flag = True
+        # Only a completion of a thread's *window head* can change the
+        # commit scan's verdict (the scan examines heads only, and a
+        # valid cache pins the heads); the fetch candidate set only
+        # changes on the value-carrying path (a load value can unpark
+        # its source) or a mispredict squash (_resolve_branch clears
+        # both latches).
+        if self._cm_stall is not None:
+            rob = self.threads[uop.thread].rob
+            if rob and rob[0] is uop:
+                self._cm_stall = None
+        if self._asleep:
+            # wake(), inlined: rejoin the machine's active set.
+            self._asleep = False
+            m = self.machine
+            if m is not None:
+                m._cores_dirty = True
         if uop.squashed or uop.completed:
             return
         uop.completed = True
@@ -1630,6 +2542,7 @@ class SMTCore:
         if uop.is_branch:
             self._resolve_branch(uop)
         if carry_value and uop.on_value is not None:
+            self._fetch_idle = False
             uop.on_value(uop.result_value)
 
     # ------------------------------------------------------------------
@@ -1644,6 +2557,12 @@ class SMTCore:
         # The front-end flush below can remove the stalled rename-queue
         # head itself (a new head may rename without anything freeing).
         self._rn_wait = 0
+        self._rn_wait_app = 0
+        self._rn_wait_proto = 0
+        # Squash changes front-end occupancy and wrong-path state, and
+        # mutates the window: drop both quiet-stage latches.
+        self._cm_stall = None
+        self._fetch_idle = False
         t = self.threads[uop.thread]
         squashed_any = False
         while t.rob and t.rob[-1] is not uop:
@@ -1673,6 +2592,8 @@ class SMTCore:
 
     def _squash(self, victim: Uop) -> None:
         self._rn_wait = 0  # the victim's resources come back
+        self._rn_wait_app = 0
+        self._rn_wait_proto = 0
         victim.squashed = True
         t = self.threads[victim.thread]
         t.stats.squashed += 1
@@ -1779,6 +2700,8 @@ class SMTCore:
         # Retirement frees window/register/LSQ/branch-stack resources,
         # but no issue-queue slot: code 1 stays latched.
         self._rn_wait &= 1
+        self._rn_wait_app &= 1
+        self._rn_wait_proto &= 1
         if uop.commit_stage:
             t.icount -= 1  # commit-stage µops never joined the IQ
             if uop.kind is UopKind.UNCACHED:
@@ -1812,7 +2735,7 @@ class SMTCore:
             t.stats.stores += 1
 
     def _drain_store(self, uop: Uop) -> None:
-        self.wake()
+        self.wake_quiet()
         result = self.hierarchy.store(
             uop.addr, uop.protocol, uop.value,
             on_complete=partial(self._store_drained, uop),
@@ -1824,7 +2747,15 @@ class SMTCore:
             self.wheel.schedule(result[1], partial(self._store_drained, uop))
 
     def _store_drained(self, uop: Uop, _value: Optional[int] = None) -> None:
-        self.wake()
+        # Store-buffer release: an sb-blocked STORE head may now
+        # retire; the fetch candidate set is untouched.
+        self._wake_flag = True
+        self._cm_stall = None
+        if self._asleep:
+            self._asleep = False
+            m = self.machine
+            if m is not None:
+                m._cores_dirty = True
         self.sb_pool.release(uop.protocol)
         word = uop.addr & ~7
         pending = self._pending_stores.get((uop.thread, word))

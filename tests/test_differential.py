@@ -196,3 +196,136 @@ def test_interp_vs_compiled_property(app, model, n_nodes):
         app, model, n_nodes, interp=False)
     assert compiled_stats == interp_stats
     assert compiled_trace == interp_trace
+
+
+# ----------------------------------------------------------------------
+# Fused multi-threaded fast path: ``_step_nt`` vs the generic
+# ``step()`` interpreter (REPRO_SMT_INTERP=1 vs the default).
+# ----------------------------------------------------------------------
+#
+# Like the app compiler, the fused SMT path claims *complete* equality:
+# it is the same pipeline walked in a flattened order with quiet-stage
+# latches, so every MachineStats field (``skipped_cycles`` included —
+# both modes run the same event-driven scheduler) and the protocol
+# trace tail must be bit-identical.  The path only engages on cores
+# with >=2 hardware threads (SMTp's app+protocol pair, or ways>=2
+# app-thread cells), so those are the configurations exercised here.
+
+PROTOCOLS = ("smtp-bitvector", "msi", "migratory")
+
+
+def _run_smt_traced(app: str, model: str, n_nodes: int, ways: int,
+                    protocol: str, interp: bool):
+    import os
+
+    old = os.environ.get("REPRO_SMT_INTERP")
+    if interp:
+        os.environ["REPRO_SMT_INTERP"] = "1"
+    else:
+        os.environ.pop("REPRO_SMT_INTERP", None)
+    try:
+        machine = build_machine(model, n_nodes=n_nodes, ways=ways,
+                                protocol=protocol)
+        tracer = ProtocolTracer(machine, ring=True, max_events=TRACE_TAIL)
+        sources = app_sources(app, machine, dict(preset_sizes(app, "tiny")))
+        stats = run_machine(machine, sources, max_cycles=30_000_000)
+        return stats.to_dict(), _trace_stream(tracer)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_SMT_INTERP", None)
+        else:
+            os.environ["REPRO_SMT_INTERP"] = old
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fused_vs_interp_smtp_all_bundles(protocol):
+    """SMTp 2-way cells under every registered coherence bundle: full
+    stats + trace-tail bit-identity between the fused path and the
+    generic interpreter."""
+    for app in ("fft", "water"):
+        interp_stats, interp_trace = _run_smt_traced(
+            app, "smtp", n_nodes=2, ways=2, protocol=protocol, interp=True)
+        fused_stats, fused_trace = _run_smt_traced(
+            app, "smtp", n_nodes=2, ways=2, protocol=protocol, interp=False)
+        assert fused_stats == interp_stats, \
+            f"{app}/{protocol}: stats diverge"
+        assert fused_trace == interp_trace, \
+            f"{app}/{protocol}: trace diverges"
+
+
+def test_fused_vs_interp_multiway_no_protocol_thread():
+    """ways>=2 cells on a model *without* a protocol thread also take
+    the fused path (two app threads); same complete-equality claim."""
+    interp_stats, interp_trace = _run_smt_traced(
+        "ocean", "base", n_nodes=2, ways=2,
+        protocol="smtp-bitvector", interp=True)
+    fused_stats, fused_trace = _run_smt_traced(
+        "ocean", "base", n_nodes=2, ways=2,
+        protocol="smtp-bitvector", interp=False)
+    assert fused_stats == interp_stats
+    assert fused_trace == interp_trace
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    app=st.sampled_from(APPS),
+    model=st.sampled_from(("smtp", "base")),
+    protocol=st.sampled_from(PROTOCOLS),
+    n_nodes=st.sampled_from((1, 2)),
+)
+def test_fused_vs_interp_property(app, model, protocol, n_nodes):
+    """Random (app, model, bundle, nodes) 2-way cells: the fused path
+    is observationally invisible wherever it engages."""
+    interp_stats, interp_trace = _run_smt_traced(
+        app, model, n_nodes, ways=2, protocol=protocol, interp=True)
+    fused_stats, fused_trace = _run_smt_traced(
+        app, model, n_nodes, ways=2, protocol=protocol, interp=False)
+    assert fused_stats == interp_stats
+    assert fused_trace == interp_trace
+
+
+# ----------------------------------------------------------------------
+# Active-set scheduling: the per-node wake sets vs dense stepping.
+# ----------------------------------------------------------------------
+
+
+def _run_smt_dense(app: str, protocol: str, n_nodes: int, dense: bool):
+    import os
+
+    old = os.environ.get("REPRO_DENSE_STEP")
+    if dense:
+        os.environ["REPRO_DENSE_STEP"] = "1"
+    else:
+        os.environ.pop("REPRO_DENSE_STEP", None)
+    try:
+        machine = build_machine("smtp", n_nodes=n_nodes, ways=2,
+                                protocol=protocol)
+        tracer = ProtocolTracer(machine, ring=True, max_events=TRACE_TAIL)
+        sources = app_sources(app, machine, dict(preset_sizes(app, "tiny")))
+        stats = run_machine(machine, sources, max_cycles=30_000_000)
+        return stats.to_dict(), _trace_stream(tracer)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_DENSE_STEP", None)
+        else:
+            os.environ["REPRO_DENSE_STEP"] = old
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    app=st.sampled_from(("fft", "water", "radix")),
+    protocol=st.sampled_from(PROTOCOLS),
+)
+def test_active_set_vs_dense_congruence_n4(app, protocol):
+    """The active-set scheduler (sleeping cores/MCs dropped from the
+    per-cycle scan) must never skip a cycle the dense reference
+    executes with work in it: at n=4 every architectural statistic and
+    the trace tail match REPRO_DENSE_STEP=1 bit for bit, with only
+    ``skipped_cycles`` (the event mode's own bookkeeping) exempt."""
+    dense_stats, dense_trace = _run_smt_dense(app, protocol, 4, dense=True)
+    event_stats, event_trace = _run_smt_dense(app, protocol, 4, dense=False)
+    assert dense_stats.pop("skipped_cycles") == 0
+    assert event_stats.pop("skipped_cycles") > 0, \
+        "active set should be skipping idle cycles at n=4"
+    assert event_stats == dense_stats
+    assert event_trace == dense_trace

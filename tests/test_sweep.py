@@ -233,18 +233,21 @@ class TestSweepCLI:
         from repro.sim.sweep import NAMED_GRIDS
 
         cells = NAMED_GRIDS["smoke"]()
-        assert len(cells) == 9
+        assert len(cells) == 10
         # Two default-protocol 2-node cells exercise the cross-node
         # regime the event scheduler accelerates most (a third 2-node
         # cell runs the MSI bundle for the cross-protocol comparison
         # row); the 16-node cell is protocol-heavy (most cycles inside
         # handlers) and anchors the compiled-handler speedup floor in
         # BENCH_smoke.json; the single bench-preset cell is app-heavy
-        # and anchors the app-compilation floor.
+        # and anchors the app-compilation floor; the SMTp 2-way n=4
+        # cell runs the fused multi-threaded fast path and anchors the
+        # pre_smt_compile floor.
         assert sum(1 for c in cells if c.n_nodes == 2) == 3
         assert sum(1 for c in cells if c.n_nodes == 16) == 1
         assert [(c.app, c.preset) for c in cells if c.preset != "tiny"] \
             == [("ocean", "bench")]
+        assert sum(1 for c in cells if c.model == "smtp" and c.ways == 2) == 1
 
     def test_list_grids(self, capsys):
         from repro.__main__ import main

@@ -26,6 +26,17 @@ flags (the execution-mode escape hatches and bench knobs):
 4. **No undocumented env flags** — every ``REPRO_*`` flag the code
    reads must be described in README.md or EXPERIMENTS.md.
 
+And for ``make`` targets quoted in the docs:
+
+5. **No phantom make targets** — every ``make <target>`` a checked
+   doc quotes (inline code or shell block) must be a real target in
+   the Makefile.
+
+6. **No undocumented gate targets** — the targets on the small
+   required list (the CI perf gates, e.g. ``smoke``/``fig8-smoke``)
+   must exist in the Makefile *and* be described in README.md or
+   EXPERIMENTS.md.
+
 Run as ``make docs-check`` or ``python tools/check_docs.py``; exit 0
 clean, 1 stale.  ``tests/test_docs.py`` wraps it so staleness also
 fails tier-1.
@@ -81,6 +92,28 @@ FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 ENV_RE = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*")
 ENV_DOCS = ("README.md", "EXPERIMENTS.md")
 ENV_SOURCE_DIRS = ("src", "benchmarks")
+
+# `make <target>` mentions are only trusted in code context (inline
+# backticks or a shell-block line), so prose like "make sure" never
+# reads as a target reference.
+MAKE_RE = re.compile(
+    r"(?:`|^\s*(?:\$\s*)?)(?:REPRO_\w+=\S+\s+)*make\s+([a-z][a-z0-9-]*)",
+    re.MULTILINE,
+)
+
+# Targets that must stay live in the Makefile AND be described in one
+# of ENV_DOCS: the CI perf gates operators are expected to run.
+REQUIRED_TARGETS = ("smoke", "fig8-smoke")
+
+
+def makefile_targets() -> set[str]:
+    """Every rule name defined in the top-level Makefile."""
+    targets: set[str] = set()
+    for line in (REPO / "Makefile").read_text().splitlines():
+        match = re.match(r"^([A-Za-z0-9][A-Za-z0-9_. -]*):(?!=)", line)
+        if match:
+            targets |= set(match.group(1).split())
+    return targets - {".PHONY"}
 
 
 def implemented_env_flags() -> set[str]:
@@ -176,6 +209,33 @@ def main() -> int:
             f"env flag {flag} is read by the code but described in "
             f"neither of {', '.join(ENV_DOCS)}"
         )
+
+    # Directions 5 and 6: make targets, both ways.
+    targets = makefile_targets()
+    documented_targets: set[str] = set()
+    for rel in DOC_COMMANDS:
+        path = REPO / rel
+        if not path.exists():
+            continue
+        found = set(MAKE_RE.findall(path.read_text()))
+        if rel in ENV_DOCS:
+            documented_targets |= found
+        for target in sorted(found - targets):
+            problems.append(
+                f"{rel}: quotes `make {target}`, which the Makefile "
+                f"does not define"
+            )
+    for target in REQUIRED_TARGETS:
+        if target not in targets:
+            problems.append(
+                f"required make target `{target}` is missing from the "
+                f"Makefile"
+            )
+        elif target not in documented_targets:
+            problems.append(
+                f"make target `{target}` is live but described in "
+                f"neither of {', '.join(ENV_DOCS)}"
+            )
 
     for line in problems:
         print(f"docs-check: {line}")

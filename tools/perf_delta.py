@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_*.json`` perf trajectories; fail on regression.
+
+``make fig8-smoke`` (and any ad-hoc A/B of two sweep runs) needs a
+file-to-file comparison rather than the in-process gate ``python -m
+repro sweep --gate`` applies: the fresh trajectory is written first,
+then held against the committed one, so the diff survives as two
+artifacts that can be inspected or plotted after the verdict.
+
+Cells are matched by configuration (app, model, nodes, ways, freq,
+preset, flags).  Timings are CPU seconds (``elapsed_s``); when both
+files carry a ``reference_s`` box-speed calibration, the fresh side is
+normalized by ``max(1, fresh_ref / base_ref)`` — the same
+slowness-excusing bias as the sweep gate, so a loaded box never
+manufactures a regression and a fast box never hides one.  A matched
+cell fails when its normalized time exceeds the baseline's by more
+than ``--limit`` (default 1.25 = the >25% regression rule) plus a
+20 ms absolute slack for sub-0.1s cells.
+
+Exit status: 0 clean, 1 regression(s) or unusable input.
+
+Usage::
+
+    python tools/perf_delta.py BASELINE.json FRESH.json [--limit 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: Ratio above which a matched cell is a regression (>25% slower).
+DEFAULT_LIMIT = 1.25
+
+#: Absolute slack (seconds) absorbing timer noise on sub-0.1s cells.
+SLACK_S = 0.02
+
+
+def _gate_key(row: Dict[str, object]) -> Tuple:
+    flags = row.get("flags") or {}
+    return (
+        row.get("app"), row.get("model"), row.get("n_nodes"),
+        row.get("ways"), row.get("freq_ghz"), row.get("preset"),
+        tuple(sorted(flags.items())),
+    )
+
+
+def _label(key: Tuple) -> str:
+    app, model, n, w, freq, preset, flags = key
+    extra = "".join(f" {k}={v}" for k, v in flags)
+    return f"{app}/{model} n={n} w={w} {freq:g}GHz {preset}{extra}"
+
+
+def _timed_cells(doc: Dict[str, object]) -> Dict[Tuple, float]:
+    """Fresh-timed ok rows only: cached rows carry no usable timing."""
+    out: Dict[Tuple, float] = {}
+    for row in doc.get("cells", []):
+        if row.get("status") != "ok" or row.get("cached"):
+            continue
+        elapsed = float(row.get("elapsed_s") or 0.0)
+        if elapsed > 0:
+            out[_gate_key(row)] = elapsed
+    return out
+
+
+def compare(
+    base_doc: Dict[str, object],
+    fresh_doc: Dict[str, object],
+    limit: float = DEFAULT_LIMIT,
+) -> Tuple[int, list]:
+    """Return ``(n_failures, report_lines)`` for two BENCH documents."""
+    base = _timed_cells(base_doc)
+    fresh = _timed_cells(fresh_doc)
+    scale = 1.0
+    base_ref = float(base_doc.get("reference_s") or 0.0)
+    fresh_ref = float(fresh_doc.get("reference_s") or 0.0)
+    if base_ref > 0 and fresh_ref > 0:
+        scale = max(1.0, fresh_ref / base_ref)
+    lines = []
+    if scale != 1.0:
+        lines.append(
+            f"perf-delta: box speed {scale:.2f}x baseline "
+            f"(calibration {fresh_ref:.3f}s vs {base_ref:.3f}s); "
+            f"comparing normalized timings"
+        )
+    failures = 0
+    for key, base_s in sorted(base.items(), key=lambda kv: _label(kv[0])):
+        fresh_s = fresh.get(key)
+        if fresh_s is None:
+            lines.append(f"perf-delta: {_label(key)}: MISSING in fresh run")
+            continue
+        ratio = fresh_s / (base_s * scale)
+        failed = fresh_s > base_s * scale * limit + SLACK_S
+        if failed:
+            failures += 1
+        lines.append(
+            f"perf-delta: {_label(key)}: {'FAIL' if failed else 'ok'} "
+            f"({fresh_s:.3f}s vs {base_s:.3f}s baseline, {ratio:.2f}x, "
+            f"limit {limit:.2f}x)"
+        )
+    for key in sorted(set(fresh) - set(base), key=_label):
+        lines.append(
+            f"perf-delta: {_label(key)}: NEW ({fresh[key]:.3f}s, "
+            f"no baseline)"
+        )
+    return failures, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a fresh BENCH_*.json regresses >25% "
+                    "against a committed one"
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly written BENCH_*.json")
+    parser.add_argument("--limit", type=float, default=DEFAULT_LIMIT,
+                        help="failure ratio (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    docs = []
+    for path in (args.baseline, args.fresh):
+        try:
+            docs.append(json.loads(Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            print(f"perf-delta: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+    failures, lines = compare(docs[0], docs[1], limit=args.limit)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nperf-delta: {failures} cell(s) regressed beyond "
+              f"{args.limit:.2f}x")
+        return 1
+    print("\nperf-delta: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
